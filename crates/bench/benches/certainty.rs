@@ -1,0 +1,178 @@
+//! Criterion micro-benchmarks, one group per experiment family of
+//! `EXPERIMENTS.md` (E7–E12). Absolute numbers are machine-dependent; the
+//! quantity of interest is the *shape*: the polynomial solvers must scale
+//! smoothly in the input size while the exact oracle degrades exponentially
+//! with the number of violated blocks, and the safe probability plan must
+//! stay flat where possible-world enumeration explodes.
+
+use cqa_bench::{scaled_cycle_instance, scaled_instance};
+use cqa_core::attack::AttackGraph;
+use cqa_core::fo::{certain_rewriting, eval::evaluate_sentence};
+use cqa_core::reductions::Theorem2Reduction;
+use cqa_core::solvers::{
+    CertaintySolver, CycleQuerySolver, ExactOracle, RewritingSolver, TerminalCycleSolver,
+};
+use cqa_gen::q0_instance;
+use cqa_prob::eval::{probability_exact, probability_safe};
+use cqa_prob::BidDatabase;
+use cqa_query::{catalog, purify};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// E8 / Theorem 1 region: the rewriting-based solver on acyclic-attack-graph
+/// queries, against the exact oracle on the sizes the oracle can still handle.
+fn bench_rewriting(c: &mut Criterion) {
+    let q = catalog::fo_path3().query;
+    let solver = RewritingSolver::new(&q).unwrap();
+    let oracle = ExactOracle::new(&q).unwrap();
+    let mut group = c.benchmark_group("rewriting_path3");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [4usize, 16, 32] {
+        let db = scaled_instance(&q, n, 11);
+        group.bench_with_input(BenchmarkId::new("rewriting", n), &db, |b, db| {
+            b.iter(|| solver.is_certain(db))
+        });
+        if db.repair_count_log2() < 18.0 {
+            group.bench_with_input(BenchmarkId::new("exact_oracle", n), &db, |b, db| {
+                b.iter(|| oracle.is_certain(db))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// E8: the Theorem 3 solver on the Figure 4 query.
+fn bench_terminal_cycles(c: &mut Criterion) {
+    let q = catalog::fig4().query;
+    let solver = TerminalCycleSolver::new(&q).unwrap();
+    let mut group = c.benchmark_group("theorem3_fig4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [4usize, 16, 32] {
+        let db = scaled_instance(&q, n, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| solver.is_certain(db))
+        });
+    }
+    group.finish();
+}
+
+/// E9: the Theorem 4 solver on AC(3) cycle-graph instances.
+fn bench_cycle_query(c: &mut Criterion) {
+    let q = catalog::ac_k(3).query;
+    let solver = CycleQuerySolver::new(&q).unwrap();
+    let mut group = c.benchmark_group("theorem4_ac3");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [8usize, 32, 128] {
+        let db = scaled_cycle_instance(3, true, n, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| solver.is_certain(db))
+        });
+    }
+    group.finish();
+}
+
+/// E7: the coNP region — the exact oracle on reduced q0 instances.
+fn bench_conp_oracle(c: &mut Criterion) {
+    let target = catalog::q1().query;
+    let reduction = Theorem2Reduction::new(&target).unwrap();
+    let oracle = ExactOracle::new(&target).unwrap();
+    let mut group = c.benchmark_group("theorem2_reduction_oracle");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [2usize, 4, 6] {
+        let db0 = q0_instance(n as u64, n, 2, 0.8);
+        let db = reduction.apply(&db0);
+        group.bench_with_input(BenchmarkId::new("reduce", n), &db0, |b, db0| {
+            b.iter(|| reduction.apply(db0))
+        });
+        group.bench_with_input(BenchmarkId::new("solve_reduced", n), &db, |b, db| {
+            b.iter(|| oracle.is_certain(db))
+        });
+    }
+    group.finish();
+}
+
+/// E12: attack-graph construction and FO-rewriting evaluation.
+fn bench_attack_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_graph_build");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for entry in [catalog::q1(), catalog::fig4(), catalog::ac_k(4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entry.name.clone()),
+            &entry.query,
+            |b, q| b.iter(|| AttackGraph::build(q).unwrap()),
+        );
+    }
+    group.finish();
+
+    let q = catalog::conference().query;
+    let rewriting = certain_rewriting(&q).unwrap();
+    let db = scaled_instance(&q, 16, 19);
+    let mut group = c.benchmark_group("fo_rewriting_eval");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("conference_16", |b| {
+        b.iter(|| evaluate_sentence(&rewriting, &db))
+    });
+    group.finish();
+}
+
+/// E10: safe-plan probability evaluation vs. possible-world enumeration.
+fn bench_probability(c: &mut Criterion) {
+    let q = catalog::conference().query;
+    let mut group = c.benchmark_group("probability_conference");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [2usize, 4, 16] {
+        let db = scaled_instance(&q, n, 23);
+        let bid = BidDatabase::uniform_over_repairs(&db);
+        group.bench_with_input(BenchmarkId::new("safe_plan", n), &bid, |b, bid| {
+            b.iter(|| probability_safe(bid, &q).unwrap())
+        });
+        if db.repair_count_log2() < 14.0 {
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &bid, |b, bid| {
+                b.iter(|| probability_exact(bid, &q))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Lemma 1: purification cost on scaled instances.
+fn bench_purification(c: &mut Criterion) {
+    let q = catalog::fig4().query;
+    let mut group = c.benchmark_group("purification_fig4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [8usize, 32] {
+        let db = scaled_instance(&q, n, 29);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| purify::purify(db, &q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rewriting,
+    bench_terminal_cycles,
+    bench_cycle_query,
+    bench_conp_oracle,
+    bench_attack_graph,
+    bench_probability,
+    bench_purification
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Shared instance builders and measurement helpers for the benchmark
+//! harness and the `experiments` binary.
+//!
+//! Every experiment of `EXPERIMENTS.md` pulls its workloads from here so that
+//! the Criterion micro-benchmarks and the experiment reproduction print-outs
+//! measure exactly the same instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cqa_data::UncertainDatabase;
+use cqa_gen::{cycle_instance, CycleInstanceConfig, GeneratorConfig, UncertainDbGenerator};
+use cqa_query::{catalog, ConjunctiveQuery};
+use std::time::{Duration, Instant};
+
+/// Workload scale → uncertain database for a given catalog query: `n` match
+/// groups with one extra (key-violating) alternative per planted fact.
+pub fn scaled_instance(query: &ConjunctiveQuery, n: usize, seed: u64) -> UncertainDatabase {
+    UncertainDbGenerator::new(
+        query,
+        GeneratorConfig {
+            seed,
+            matches: n,
+            domain_per_variable: (n / 2).max(4),
+            extra_block_facts: 1,
+            alternative_join_probability: 0.5,
+        },
+    )
+    .generate()
+}
+
+/// A `C(k)` / `AC(k)` cycle-graph instance with `n` constants per layer.
+pub fn scaled_cycle_instance(k: usize, with_s: bool, n: usize, seed: u64) -> UncertainDatabase {
+    cycle_instance(
+        k,
+        with_s,
+        &CycleInstanceConfig {
+            seed,
+            nodes_per_layer: n,
+            edges_per_node: 2,
+            encoded_cycle_fraction: 0.6,
+        },
+    )
+}
+
+/// The conference query and database of Figure 1.
+pub fn figure1() -> (ConjunctiveQuery, UncertainDatabase) {
+    (catalog::conference().query, catalog::conference_database())
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn time_it<R>(mut f: impl FnMut() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+/// Formats a duration in microseconds with three significant digits.
+pub fn micros(d: Duration) -> String {
+    format!("{:.1}µs", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_instances_grow_with_n() {
+        let q = catalog::fig4().query;
+        let small = scaled_instance(&q, 5, 1);
+        let large = scaled_instance(&q, 50, 1);
+        assert!(large.fact_count() > small.fact_count());
+    }
+
+    #[test]
+    fn cycle_instances_grow_with_n() {
+        let small = scaled_cycle_instance(3, true, 5, 1);
+        let large = scaled_cycle_instance(3, true, 20, 1);
+        assert!(large.fact_count() > small.fact_count());
+    }
+
+    #[test]
+    fn timing_helper_reports_something() {
+        let (value, elapsed) = time_it(|| 2 + 2);
+        assert_eq!(value, 4);
+        assert!(elapsed.as_nanos() > 0 || micros(elapsed).ends_with("µs"));
+    }
+}

@@ -1,0 +1,160 @@
+//! `certainty` — a command-line tool for certain query answering over
+//! uncertain databases.
+//!
+//! ```text
+//! certainty classify <file.cqa>              classify every query in the document
+//! certainty certain <file.cqa> [--query=N]   decide CERTAINTY for the document's queries
+//! certainty answers <file.cqa>               certain + possible answers (non-Boolean queries)
+//! certainty rewrite <file.cqa> [--sql]       print the certain FO rewriting (and SQL)
+//! certainty probability <file.cqa>           Pr(q) under the uniform-repair distribution
+//! certainty repairs <file.cqa>               list/count repairs of the database
+//! certainty attack-graph <file.cqa> [--dot]  print the attack graph (optionally as DOT)
+//! ```
+//!
+//! The input format is documented in the `cqa-parser` crate (and in
+//! `README.md`).
+
+use cqa_core::answers::certain_answers;
+use cqa_core::classify::classify;
+use cqa_core::fo::{certain_rewriting, sql::to_sql};
+use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
+use cqa_core::AttackGraph;
+use cqa_parser::{dot, parse_document, Document};
+use cqa_prob::eval::probability_over_repairs;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: certainty <classify|certain|answers|rewrite|probability|repairs|attack-graph> <file> [--sql] [--dot] [--query=NAME]"
+}
+
+fn load(path: &str) -> Result<Document, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_document(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| a.starts_with("--"));
+    let mut query_filter: Option<String> = None;
+    let mut flag_names: Vec<String> = Vec::new();
+    for flag in flags {
+        match flag.split_once('=') {
+            Some(("--query", value)) => query_filter = Some(value.to_string()),
+            Some((name, _)) => flag_names.push(name.to_string()),
+            None => flag_names.push(flag.clone()),
+        }
+    }
+    let [command, path] = positional.as_slice() else {
+        return Err(usage().to_string());
+    };
+    let doc = load(path)?;
+    if doc.queries.is_empty() && command.as_str() != "repairs" {
+        return Err("the document declares no `certain ... :- ...` query".to_string());
+    }
+    let selected: Vec<&(String, cqa_query::ConjunctiveQuery)> = doc
+        .queries
+        .iter()
+        .filter(|(name, _)| query_filter.as_deref().map_or(true, |f| f == name))
+        .collect();
+    let has_flag = |name: &str| flag_names.iter().any(|f| f == name);
+
+    match command.as_str() {
+        "classify" => {
+            for (name, query) in &selected {
+                let c = classify(query).map_err(|e| e.to_string())?;
+                println!("{name}: {}", c.class);
+            }
+        }
+        "certain" => {
+            for (name, query) in &selected {
+                if query.is_boolean() {
+                    let engine = CertaintyEngine::new(query).map_err(|e| e.to_string())?;
+                    let verdict = engine.is_certain(&doc.database);
+                    println!(
+                        "{name}: {} (solver: {})",
+                        if verdict { "certain" } else { "not certain" },
+                        engine.solver_name()
+                    );
+                } else {
+                    println!("{name}: query has free variables, use `answers`");
+                }
+            }
+        }
+        "answers" => {
+            for (name, query) in &selected {
+                let sets = certain_answers(query, &doc.database).map_err(|e| e.to_string())?;
+                println!(
+                    "{name}: {} certain / {} possible",
+                    sets.certain.len(),
+                    sets.possible.len()
+                );
+                for tuple in &sets.certain {
+                    let rendered: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+                    println!("  certain: ({})", rendered.join(", "));
+                }
+            }
+        }
+        "rewrite" => {
+            for (name, query) in &selected {
+                match certain_rewriting(query) {
+                    Ok(formula) => {
+                        println!("{name}: {}", formula.display(query.schema()));
+                        if has_flag("--sql") {
+                            println!(
+                                "{}",
+                                to_sql(&formula, query.schema()).map_err(|e| e.to_string())?
+                            );
+                        }
+                    }
+                    Err(e) => println!("{name}: no certain first-order rewriting ({e})"),
+                }
+            }
+        }
+        "probability" => {
+            for (name, query) in &selected {
+                let p = probability_over_repairs(&doc.database, query);
+                println!("{name}: Pr(q) = {p:.6} under the uniform-repair distribution");
+            }
+        }
+        "repairs" => {
+            match doc.database.repair_count() {
+                Some(c) if c <= 64 => {
+                    println!("{c} repairs:");
+                    for (i, repair) in doc.database.repairs().enumerate() {
+                        println!("--- repair {} ---", i + 1);
+                        print!("{repair}");
+                    }
+                }
+                Some(c) => println!("{c} repairs (too many to list)"),
+                None => println!(
+                    "more than 2^128 repairs (log2 ≈ {:.1})",
+                    doc.database.repair_count_log2()
+                ),
+            }
+        }
+        "attack-graph" => {
+            for (name, query) in &selected {
+                let graph = AttackGraph::build(query).map_err(|e| e.to_string())?;
+                if has_flag("--dot") {
+                    println!("{}", dot::attack_graph_to_dot(&graph));
+                } else {
+                    println!("attack graph of {name}:");
+                    print!("{}", graph.render());
+                }
+            }
+        }
+        _ => return Err(usage().to_string()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

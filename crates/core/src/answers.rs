@@ -1,0 +1,140 @@
+//! Certain answers to non-Boolean conjunctive queries.
+//!
+//! The paper restricts attention to Boolean queries, noting that the
+//! restriction "is not fundamental" (Section 3). This module provides the
+//! natural non-Boolean extension a database user expects: the **certain
+//! answers** of a query with free variables are the tuples that are answers
+//! in *every* repair. A tuple is a candidate only if it is an answer on the
+//! full database (answers are monotone), and a candidate is certain iff the
+//! Boolean query obtained by substituting it for the free variables is
+//! certain — which is decided by the classified solvers of
+//! [`crate::solvers`].
+
+use crate::solvers::{CertaintyEngine, CertaintySolver};
+use cqa_data::{UncertainDatabase, Value};
+use cqa_query::{eval, substitute, ConjunctiveQuery, QueryError};
+use std::collections::BTreeSet;
+
+/// The certain answers (and, for context, the possible answers) of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnswerSets {
+    /// Tuples that are answers in **every** repair.
+    pub certain: BTreeSet<Vec<Value>>,
+    /// Tuples that are answers in **some** repair (equivalently, answers on
+    /// the database itself, by monotonicity of conjunctive queries).
+    pub possible: BTreeSet<Vec<Value>>,
+}
+
+/// Computes the certain answers of a (possibly non-Boolean) conjunctive
+/// query without self-joins.
+///
+/// For a Boolean query the result contains the empty tuple iff the query is
+/// certain.
+pub fn certain_answers(
+    query: &ConjunctiveQuery,
+    db: &UncertainDatabase,
+) -> Result<AnswerSets, QueryError> {
+    query.require_self_join_free()?;
+    let possible = eval::answers(db, query);
+    let free = query.free_vars().to_vec();
+    let mut certain = BTreeSet::new();
+    for tuple in &possible {
+        let grounded = substitute::substitute_seq(query, &free, tuple);
+        let engine = CertaintyEngine::new(&grounded)?;
+        if engine.is_certain(db) {
+            certain.insert(tuple.clone());
+        }
+    }
+    Ok(AnswerSets { certain, possible })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::{catalog, Term, Variable};
+
+    #[test]
+    fn conference_certain_answers() {
+        // q(x) :- C(x, y, 'Rome'), R(x, 'A'): which conferences certainly put
+        // an A-ranked event in Rome?
+        let boolean = catalog::conference();
+        let schema = boolean.query.schema().clone();
+        let query = ConjunctiveQuery::builder(schema)
+            .atom(
+                "C",
+                [Term::var("x"), Term::var("y"), Term::constant("Rome")],
+            )
+            .atom("R", [Term::var("x"), Term::constant("A")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap();
+        let db = catalog::conference_database();
+        let answers = certain_answers(&query, &db).unwrap();
+        // Possible: PODS (if Rome repair chosen) and KDD (if rank-A repair chosen).
+        assert_eq!(answers.possible.len(), 2);
+        // Certain: neither — PODS may be in Paris, KDD may be rank B.
+        assert!(answers.certain.is_empty());
+
+        // Resolve KDD's rank to A: KDD becomes a certain answer.
+        let mut fixed = db.clone();
+        let r = fixed.schema().relation_id("R").unwrap();
+        fixed.remove_fact(&cqa_data::Fact::new(
+            r,
+            vec![Value::str("KDD"), Value::str("B")],
+        ));
+        let answers = certain_answers(&query, &fixed).unwrap();
+        assert_eq!(
+            answers.certain,
+            [vec![Value::str("KDD")]].into_iter().collect()
+        );
+        assert_eq!(answers.possible.len(), 2);
+    }
+
+    #[test]
+    fn boolean_queries_reduce_to_the_empty_tuple() {
+        let q = catalog::conference().query;
+        let db = catalog::conference_database();
+        let answers = certain_answers(&q, &db).unwrap();
+        assert!(answers.certain.is_empty());
+        assert_eq!(answers.possible.len(), 1);
+        // On a certain instance, the empty tuple is a certain answer.
+        let mut fixed = db.clone();
+        let c = fixed.schema().relation_id("C").unwrap();
+        fixed.remove_fact(&cqa_data::Fact::new(
+            c,
+            vec![
+                Value::str("PODS"),
+                Value::str("2016"),
+                Value::str("Paris"),
+            ],
+        ));
+        let answers = certain_answers(&q, &fixed).unwrap();
+        assert_eq!(answers.certain.len(), 1);
+        assert!(answers.certain.contains(&Vec::new()));
+    }
+
+    #[test]
+    fn certain_answers_are_a_subset_of_possible_answers() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1), ("S", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let query = ConjunctiveQuery::builder(schema.clone())
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .atom("S", [Term::var("y"), Term::var("z")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("R", ["a", "b"]).unwrap();
+        db.insert_values("R", ["c", "b"]).unwrap();
+        db.insert_values("R", ["c", "dangling"]).unwrap();
+        db.insert_values("S", ["b", "t"]).unwrap();
+        let answers = certain_answers(&query, &db).unwrap();
+        assert!(answers.certain.is_subset(&answers.possible));
+        // a is certain (its only R tuple joins); c is possible but not certain
+        // (its block may choose the dangling tuple).
+        assert!(answers.certain.contains(&vec![Value::str("a")]));
+        assert!(!answers.certain.contains(&vec![Value::str("c")]));
+        assert!(answers.possible.contains(&vec![Value::str("c")]));
+    }
+}

@@ -1,0 +1,164 @@
+//! The closures `F^{+,q}` (Definition 2) and `F^{⊞,q}` (Definition 5).
+//!
+//! * `F^{+,q}` is the attribute closure of `key(F)` with respect to
+//!   `K(q \ {F})` — the functional dependencies contributed by all *other*
+//!   atoms. It governs which attacks exist.
+//! * `F^{⊞,q}` is the attribute closure of `key(F)` with respect to the full
+//!   `K(q)`. It governs whether an attack is weak or strong.
+//!
+//! `F^{+,q} ⊆ F^{⊞,q}` always holds (the paper notes this after
+//! Definition 5), which the unit tests check on the catalog queries.
+
+use cqa_query::fd::FdSet;
+use cqa_query::{AtomId, ConjunctiveQuery, QueryError, VarIndex, VarSet, Variable};
+use std::collections::BTreeSet;
+
+/// Pre-computed per-atom variable sets and closures for one query.
+#[derive(Clone, Debug)]
+pub struct ClosureTable {
+    index: VarIndex,
+    key_sets: Vec<VarSet>,
+    var_sets: Vec<VarSet>,
+    /// `F^{+,q}` per atom.
+    plus: Vec<VarSet>,
+    /// `F^{⊞,q}` per atom.
+    boxed: Vec<VarSet>,
+}
+
+impl ClosureTable {
+    /// Computes all closures for the query.
+    pub fn compute(query: &ConjunctiveQuery) -> Result<Self, QueryError> {
+        let index = query.var_index()?;
+        let n = query.len();
+        let key_sets: Vec<VarSet> = (0..n)
+            .map(|i| index.set_of(&query.key_vars(i)))
+            .collect();
+        let var_sets: Vec<VarSet> = (0..n).map(|i| index.set_of(&query.vars_of(i))).collect();
+        let full_fds = FdSet::of_query(query, &index);
+        let mut plus = Vec::with_capacity(n);
+        let mut boxed = Vec::with_capacity(n);
+        for f in 0..n {
+            let without_f = FdSet::of_atoms(query, (0..n).filter(|&i| i != f), &index);
+            plus.push(without_f.closure(key_sets[f]));
+            boxed.push(full_fds.closure(key_sets[f]));
+        }
+        Ok(ClosureTable {
+            index,
+            key_sets,
+            var_sets,
+            plus,
+            boxed,
+        })
+    }
+
+    /// The variable index shared by all the sets in this table.
+    pub fn var_index(&self) -> &VarIndex {
+        &self.index
+    }
+
+    /// `key(F)` as a bit set.
+    pub fn key_set(&self, atom: AtomId) -> VarSet {
+        self.key_sets[atom]
+    }
+
+    /// `vars(F)` as a bit set.
+    pub fn var_set(&self, atom: AtomId) -> VarSet {
+        self.var_sets[atom]
+    }
+
+    /// `F^{+,q}` as a bit set.
+    pub fn plus(&self, atom: AtomId) -> VarSet {
+        self.plus[atom]
+    }
+
+    /// `F^{⊞,q}` as a bit set.
+    pub fn boxed(&self, atom: AtomId) -> VarSet {
+        self.boxed[atom]
+    }
+
+    /// `F^{+,q}` materialised as variables (for display / diagnostics).
+    pub fn plus_vars(&self, atom: AtomId) -> BTreeSet<Variable> {
+        self.index.materialize(self.plus[atom]).into_iter().collect()
+    }
+
+    /// `F^{⊞,q}` materialised as variables.
+    pub fn boxed_vars(&self, atom: AtomId) -> BTreeSet<Variable> {
+        self.index
+            .materialize(self.boxed[atom])
+            .into_iter()
+            .collect()
+    }
+
+    /// Converts a set of variables into the table's bit-set representation.
+    pub fn set_of<'a>(&self, vars: impl IntoIterator<Item = &'a Variable>) -> VarSet {
+        self.index.set_of(vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::catalog;
+
+    fn names(set: &BTreeSet<Variable>) -> Vec<String> {
+        set.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn example2_plus_closures() {
+        // Example 2: F^{+,q1} = {u}, G^{+,q1} = {y}, H^{+,q1} = {x,z}, I^{+,q1} = {x,y,z}.
+        let q = catalog::q1().query;
+        let table = ClosureTable::compute(&q).unwrap();
+        assert_eq!(names(&table.plus_vars(0)), vec!["u"]);
+        assert_eq!(names(&table.plus_vars(1)), vec!["y"]);
+        assert_eq!(names(&table.plus_vars(2)), vec!["x", "z"]);
+        assert_eq!(names(&table.plus_vars(3)), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn example4_boxed_closures() {
+        // Example 4: F^{⊞,q1} = {u,x,y,z}; G, H, I all have {x,y,z}.
+        let q = catalog::q1().query;
+        let table = ClosureTable::compute(&q).unwrap();
+        assert_eq!(names(&table.boxed_vars(0)), vec!["u", "x", "y", "z"]);
+        for atom in 1..4 {
+            assert_eq!(names(&table.boxed_vars(atom)), vec!["x", "y", "z"]);
+        }
+    }
+
+    #[test]
+    fn plus_is_always_contained_in_boxed() {
+        for entry in catalog::all() {
+            if !cqa_query::join_tree::is_acyclic(&entry.query) {
+                continue;
+            }
+            let table = ClosureTable::compute(&entry.query).unwrap();
+            for atom in entry.query.atom_ids() {
+                assert!(
+                    table.plus(atom).is_subset_of(&table.boxed(atom)),
+                    "F+ ⊆ F⊞ violated for {} atom {}",
+                    entry.name,
+                    atom
+                );
+                assert!(
+                    table.key_set(atom).is_subset_of(&table.plus(atom)),
+                    "key(F) ⊆ F+ violated for {} atom {}",
+                    entry.name,
+                    atom
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ac3_closures_cover_everything() {
+        // In AC(3) every key determines the whole variable set (via the cycle
+        // and the all-key S3 atom), so all boxed closures equal vars(q).
+        let q = catalog::ac_k(3).query;
+        let table = ClosureTable::compute(&q).unwrap();
+        let all = table.var_index().all();
+        for atom in q.atom_ids() {
+            assert_eq!(table.boxed(atom), all, "atom {atom}");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Cycle classification of attack graphs (Definitions 5 and 6).
+//!
+//! * A cycle is **strong** if it contains at least one strong attack, and
+//!   **weak** otherwise.
+//! * A cycle is **terminal** if no edge leads from a vertex in the cycle to a
+//!   vertex outside the cycle (Definition 6).
+//!
+//! The complexity classification needs three facts about a query's attack
+//! graph: does it have a cycle at all, does it have a strong cycle, and are
+//! all (weak) cycles terminal. [`CycleAnalysis`] computes them by elementary
+//! cycle enumeration (attack graphs have one vertex per atom, so this is
+//! cheap), and additionally exposes a [`CycleAnalysis::strong_two_cycle`]
+//! witness as promised by Lemma 4.
+
+use super::{AttackGraph, AttackStrength};
+use cqa_graph::cycles::elementary_cycles;
+use cqa_query::AtomId;
+
+/// One elementary cycle of the attack graph with its classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleInfo {
+    /// The atoms on the cycle, in cycle order (starting from the smallest id).
+    pub atoms: Vec<AtomId>,
+    /// True iff some attack on the cycle is strong.
+    pub strong: bool,
+    /// True iff no attack leads from a cycle vertex to a vertex outside the cycle.
+    pub terminal: bool,
+}
+
+impl CycleInfo {
+    /// Length of the cycle (number of attacks on it).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Cycles are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+/// The cycle structure of an attack graph.
+#[derive(Clone, Debug)]
+pub struct CycleAnalysis {
+    cycles: Vec<CycleInfo>,
+}
+
+impl CycleAnalysis {
+    /// Analyses the cycles of an attack graph.
+    pub fn analyze(graph: &AttackGraph) -> CycleAnalysis {
+        let raw = elementary_cycles(graph.digraph(), None);
+        let cycles = raw
+            .into_iter()
+            .map(|nodes| {
+                let atoms: Vec<AtomId> = nodes.iter().map(|n| n.index()).collect();
+                let strong = atoms.iter().enumerate().any(|(i, &from)| {
+                    let to = atoms[(i + 1) % atoms.len()];
+                    graph.strength(from, to) == Some(AttackStrength::Strong)
+                });
+                let terminal = atoms.iter().all(|&from| {
+                    graph
+                        .attacked_by(from)
+                        .iter()
+                        .all(|to| atoms.contains(to))
+                });
+                CycleInfo {
+                    atoms,
+                    strong,
+                    terminal,
+                }
+            })
+            .collect();
+        CycleAnalysis { cycles }
+    }
+
+    /// All elementary cycles with their classification.
+    pub fn cycles(&self) -> &[CycleInfo] {
+        &self.cycles
+    }
+
+    /// True iff the attack graph has at least one cycle.
+    pub fn has_cycle(&self) -> bool {
+        !self.cycles.is_empty()
+    }
+
+    /// True iff some cycle is strong (Theorem 2 then gives coNP-completeness).
+    pub fn has_strong_cycle(&self) -> bool {
+        self.cycles.iter().any(|c| c.strong)
+    }
+
+    /// True iff every cycle is weak.
+    pub fn all_cycles_weak(&self) -> bool {
+        !self.has_strong_cycle()
+    }
+
+    /// True iff every cycle is terminal (Definition 6). Together with
+    /// weakness this is the premise of Theorem 3.
+    pub fn all_cycles_terminal(&self) -> bool {
+        self.cycles.iter().all(|c| c.terminal)
+    }
+
+    /// A strong cycle of length 2, if any strong cycle exists.
+    ///
+    /// Lemma 4 guarantees that an attack graph with a strong cycle has a
+    /// strong cycle of length 2; the returned pair `(F, G)` is ordered so
+    /// that the attack `F ⇝ G` is strong (as assumed in the proof of
+    /// Theorem 2).
+    pub fn strong_two_cycle(&self, graph: &AttackGraph) -> Option<(AtomId, AtomId)> {
+        for cycle in &self.cycles {
+            if cycle.len() != 2 || !cycle.strong {
+                continue;
+            }
+            let (a, b) = (cycle.atoms[0], cycle.atoms[1]);
+            if graph.strength(a, b) == Some(AttackStrength::Strong) {
+                return Some((a, b));
+            }
+            if graph.strength(b, a) == Some(AttackStrength::Strong) {
+                return Some((b, a));
+            }
+        }
+        None
+    }
+
+    /// The 2-cycles of the attack graph, as unordered pairs (used by the
+    /// Theorem 3 solver, whose base case is a disjoint union of weak
+    /// 2-cycles).
+    pub fn two_cycles(&self) -> Vec<(AtomId, AtomId)> {
+        self.cycles
+            .iter()
+            .filter(|c| c.len() == 2)
+            .map(|c| (c.atoms[0].min(c.atoms[1]), c.atoms[0].max(c.atoms[1])))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackGraph;
+    use cqa_query::catalog;
+
+    fn analysis(q: &cqa_query::ConjunctiveQuery) -> (AttackGraph, CycleAnalysis) {
+        let ag = AttackGraph::build(q).unwrap();
+        let an = CycleAnalysis::analyze(&ag);
+        (ag, an)
+    }
+
+    #[test]
+    fn q1_has_strong_cycles_and_lemma4_witness() {
+        // Example 4: the cycle G <-> H is weak; F <-> G is strong; the 3-cycle
+        // F -> H -> G -> F is strong.
+        let q = catalog::q1().query;
+        let (ag, an) = analysis(&q);
+        assert!(an.has_cycle());
+        assert!(an.has_strong_cycle());
+        assert!(!an.all_cycles_weak());
+        // Lemma 4: a strong 2-cycle exists; the witness must have its strong
+        // attack in the first component. Here it is (G, F) = (1, 0).
+        let (f, g) = an.strong_two_cycle(&ag).expect("Lemma 4 witness");
+        assert_eq!((f, g), (1, 0));
+        assert_eq!(ag.strength(f, g), Some(AttackStrength::Strong));
+        assert!(ag.attacks(g, f), "the witness must be a 2-cycle");
+        // The weak 2-cycle G <-> H is reported as weak.
+        let gh = an
+            .cycles()
+            .iter()
+            .find(|c| c.len() == 2 && c.atoms.contains(&1) && c.atoms.contains(&2))
+            .expect("G <-> H cycle");
+        assert!(!gh.strong);
+    }
+
+    #[test]
+    fn lemma4_strong_cycle_implies_strong_two_cycle_on_catalog() {
+        // Lemma 4 checked on every acyclic catalog query.
+        for entry in catalog::all() {
+            if !cqa_query::join_tree::is_acyclic(&entry.query) {
+                continue;
+            }
+            let (ag, an) = analysis(&entry.query);
+            if an.has_strong_cycle() {
+                assert!(
+                    an.strong_two_cycle(&ag).is_some(),
+                    "Lemma 4 violated on {}",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_cycles_are_weak_and_terminal() {
+        let q = catalog::fig4().query;
+        let (_, an) = analysis(&q);
+        assert!(an.has_cycle());
+        assert!(an.all_cycles_weak());
+        assert!(an.all_cycles_terminal());
+        assert_eq!(an.cycles().len(), 3);
+        assert_eq!(an.two_cycles(), vec![(0, 1), (2, 3), (4, 5)]);
+        // Lemma 6: when all cycles are terminal, every cycle has length 2.
+        assert!(an.cycles().iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn ac3_cycles_are_weak_but_not_terminal() {
+        // Figure 5: all cycles weak, none terminal (every Ri also attacks S3,
+        // which lies outside every cycle through the Ri atoms... S3 is in no cycle).
+        let q = catalog::ac_k(3).query;
+        let (_, an) = analysis(&q);
+        assert!(an.has_cycle());
+        assert!(an.all_cycles_weak());
+        assert!(!an.all_cycles_terminal());
+        // In fact no cycle at all is terminal (the caption of Figure 5).
+        assert!(an.cycles().iter().all(|c| !c.terminal));
+    }
+
+    #[test]
+    fn acyclic_attack_graphs_have_no_cycles() {
+        for entry in [catalog::fo_path2(), catalog::fo_path3(), catalog::conference()] {
+            let (ag, an) = analysis(&entry.query);
+            assert!(ag.is_acyclic());
+            assert!(!an.has_cycle());
+            assert!(an.all_cycles_weak());
+            assert!(an.all_cycles_terminal());
+            assert!(an.strong_two_cycle(&ag).is_none());
+        }
+    }
+
+    #[test]
+    fn q0_is_a_strong_two_cycle() {
+        // q0 = {R0(x;y), S0(y,z;x)}: both attacks exist; at least one is strong
+        // (otherwise CERTAINTY(q0) would not be coNP-complete).
+        let q = catalog::q0().query;
+        let (ag, an) = analysis(&q);
+        assert!(an.has_strong_cycle());
+        let (f, g) = an.strong_two_cycle(&ag).unwrap();
+        assert_eq!(ag.strength(f, g), Some(AttackStrength::Strong));
+    }
+
+    #[test]
+    fn c2_is_a_single_weak_terminal_cycle() {
+        let q = catalog::c2_swap().query;
+        let (_, an) = analysis(&q);
+        assert_eq!(an.cycles().len(), 1);
+        assert!(an.all_cycles_weak());
+        assert!(an.all_cycles_terminal());
+    }
+}

@@ -1,0 +1,303 @@
+//! The tractability-frontier classifier.
+//!
+//! Given a Boolean conjunctive query without self-joins, `classify` places
+//! `CERTAINTY(q)` in one of the regions charted by the paper:
+//!
+//! | attack graph | complexity | source |
+//! |---|---|---|
+//! | acyclic | first-order expressible (hence in AC⁰ ⊆ P) | Theorem 1 |
+//! | strong cycle | coNP-complete | Theorem 2 |
+//! | only weak cycles, all terminal | in P, not FO | Theorem 3 |
+//! | only weak cycles, some non-terminal, query is `AC(k)` | in P, not FO | Theorem 4 |
+//! | only weak cycles, some non-terminal, otherwise | open (conjectured P) | Conjecture 1 |
+//!
+//! Queries that are not acyclic (no join tree) fall outside the attack-graph
+//! framework; the cycle-query family `C(k)` (`k ≥ 3`) is still classified as
+//! tractable via Corollary 1, and everything else is reported as
+//! [`ComplexityClass::OutsideAcyclicScope`].
+
+use crate::attack::{AttackGraph, CycleAnalysis};
+use crate::solvers::cycle_query::{detect_cycle_query, CycleQueryShape};
+use cqa_query::{join_tree, ConjunctiveQuery, QueryError};
+use std::fmt;
+
+/// Why a non-first-order query is nevertheless tractable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PtimeReason {
+    /// All attack-graph cycles are weak and terminal (Theorem 3).
+    WeakTerminalCycles,
+    /// The query is (isomorphic to) `AC(k)` (Theorem 4).
+    CycleQueryAc {
+        /// The `k` of `AC(k)`.
+        k: usize,
+    },
+    /// The query is (isomorphic to) `C(k)` with `k ≥ 3` (Corollary 1);
+    /// such queries are cyclic, so the attack-graph framework does not apply,
+    /// but tractability follows from the Lemma 9 reduction to `AC(k)`.
+    CycleQueryC {
+        /// The `k` of `C(k)`.
+        k: usize,
+    },
+}
+
+/// The complexity region of `CERTAINTY(q)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComplexityClass {
+    /// The attack graph is acyclic: `CERTAINTY(q)` has a certain first-order
+    /// rewriting (Theorem 1).
+    FirstOrderExpressible,
+    /// In P but (for the attack-graph cases) provably not first-order
+    /// expressible.
+    PolynomialTime(PtimeReason),
+    /// The attack graph has a strong cycle: coNP-complete (Theorem 2).
+    CoNpComplete,
+    /// Only weak cycles, at least one non-terminal, and the query is not
+    /// `AC(k)`: not covered by Theorems 3–4; Conjecture 1 says it is in P.
+    OpenConjecturedPtime,
+    /// The query is cyclic (no join tree) and not `C(k)`: outside the scope
+    /// of the paper's acyclic classification.
+    OutsideAcyclicScope,
+}
+
+impl ComplexityClass {
+    /// True iff the classification guarantees a polynomial-time algorithm
+    /// (first-order expressible queries included).
+    pub fn is_tractable(&self) -> bool {
+        matches!(
+            self,
+            ComplexityClass::FirstOrderExpressible | ComplexityClass::PolynomialTime(_)
+        )
+    }
+}
+
+impl fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComplexityClass::FirstOrderExpressible => write!(f, "first-order expressible"),
+            ComplexityClass::PolynomialTime(reason) => match reason {
+                PtimeReason::WeakTerminalCycles => {
+                    write!(f, "in P (weak terminal cycles, Theorem 3), not FO")
+                }
+                PtimeReason::CycleQueryAc { k } => {
+                    write!(f, "in P (AC({k}), Theorem 4), not FO")
+                }
+                PtimeReason::CycleQueryC { k } => {
+                    write!(f, "in P (C({k}), Corollary 1)")
+                }
+            },
+            ComplexityClass::CoNpComplete => write!(f, "coNP-complete"),
+            ComplexityClass::OpenConjecturedPtime => {
+                write!(f, "open (conjectured in P, Conjecture 1)")
+            }
+            ComplexityClass::OutsideAcyclicScope => {
+                write!(f, "outside the acyclic classification")
+            }
+        }
+    }
+}
+
+/// The result of classification: the complexity region plus the evidence
+/// (attack graph and cycle analysis) it was derived from.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// The complexity region.
+    pub class: ComplexityClass,
+    /// The attack graph, when the query is acyclic.
+    pub attack_graph: Option<AttackGraph>,
+    /// The cycle analysis of the attack graph, when available.
+    pub cycles: Option<CycleAnalysis>,
+    /// The detected `C(k)` / `AC(k)` shape, when applicable.
+    pub cycle_query_shape: Option<CycleQueryShape>,
+}
+
+/// Classifies `CERTAINTY(q)` for a Boolean conjunctive query without
+/// self-joins.
+///
+/// Returns an error for non-Boolean queries or queries with self-joins
+/// (the paper's standing assumptions).
+pub fn classify(query: &ConjunctiveQuery) -> Result<Classification, QueryError> {
+    query.require_boolean()?;
+    query.require_self_join_free()?;
+
+    let shape = detect_cycle_query(query);
+
+    if !join_tree::is_acyclic(query) {
+        // Cyclic queries: the attack-graph framework does not apply, but
+        // C(k) (k >= 3) is covered by Corollary 1.
+        let class = match &shape {
+            Some(s) if s.s_atom.is_none() => {
+                ComplexityClass::PolynomialTime(PtimeReason::CycleQueryC { k: s.k })
+            }
+            _ => ComplexityClass::OutsideAcyclicScope,
+        };
+        return Ok(Classification {
+            class,
+            attack_graph: None,
+            cycles: None,
+            cycle_query_shape: shape,
+        });
+    }
+
+    let attack_graph = AttackGraph::build(query)?;
+    let cycles = CycleAnalysis::analyze(&attack_graph);
+
+    let class = if !cycles.has_cycle() {
+        ComplexityClass::FirstOrderExpressible
+    } else if cycles.has_strong_cycle() {
+        ComplexityClass::CoNpComplete
+    } else if cycles.all_cycles_terminal() {
+        ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles)
+    } else if let Some(s) = shape.as_ref().filter(|s| s.s_atom.is_some()) {
+        ComplexityClass::PolynomialTime(PtimeReason::CycleQueryAc { k: s.k })
+    } else {
+        ComplexityClass::OpenConjecturedPtime
+    };
+
+    Ok(Classification {
+        class,
+        attack_graph: Some(attack_graph),
+        cycles: Some(cycles),
+        cycle_query_shape: shape,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::catalog;
+
+    fn class_of(q: &ConjunctiveQuery) -> ComplexityClass {
+        classify(q).unwrap().class
+    }
+
+    #[test]
+    fn theorem1_region() {
+        assert_eq!(
+            class_of(&catalog::conference().query),
+            ComplexityClass::FirstOrderExpressible
+        );
+        assert_eq!(
+            class_of(&catalog::fo_path2().query),
+            ComplexityClass::FirstOrderExpressible
+        );
+        assert_eq!(
+            class_of(&catalog::fo_path3().query),
+            ComplexityClass::FirstOrderExpressible
+        );
+    }
+
+    #[test]
+    fn theorem2_region() {
+        assert_eq!(class_of(&catalog::q1().query), ComplexityClass::CoNpComplete);
+        assert_eq!(class_of(&catalog::q0().query), ComplexityClass::CoNpComplete);
+    }
+
+    #[test]
+    fn theorem3_region() {
+        assert_eq!(
+            class_of(&catalog::fig4().query),
+            ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles)
+        );
+        assert_eq!(
+            class_of(&catalog::c2_swap().query),
+            ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles)
+        );
+    }
+
+    #[test]
+    fn theorem4_and_corollary1_regions() {
+        for k in 2..=5 {
+            assert_eq!(
+                class_of(&catalog::ac_k(k).query),
+                ComplexityClass::PolynomialTime(PtimeReason::CycleQueryAc { k }),
+                "AC({k})"
+            );
+        }
+        for k in 3..=5 {
+            assert_eq!(
+                class_of(&catalog::c_k(k).query),
+                ComplexityClass::PolynomialTime(PtimeReason::CycleQueryC { k }),
+                "C({k})"
+            );
+        }
+        // C(2) is acyclic, so it is classified through the attack graph
+        // (weak terminal cycle) rather than through Corollary 1.
+        assert_eq!(
+            class_of(&catalog::c_k(2).query),
+            ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles)
+        );
+    }
+
+    #[test]
+    fn ac2_is_classified_via_theorem4_and_is_not_terminal() {
+        // AC(2)'s attack graph has the weak cycle R1 <-> R2, but both atoms
+        // also attack S2, so the cycle is non-terminal: Theorem 3 does not
+        // apply and the classifier must fall through to Theorem 4.
+        let c = classify(&catalog::ac_k(2).query).unwrap();
+        assert_eq!(
+            c.class,
+            ComplexityClass::PolynomialTime(PtimeReason::CycleQueryAc { k: 2 })
+        );
+        assert!(!c.cycles.unwrap().all_cycles_terminal());
+    }
+
+    #[test]
+    fn self_joins_are_rejected() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom("R", [cqa_query::Term::var("x"), cqa_query::Term::var("y")])
+            .atom("R", [cqa_query::Term::var("y"), cqa_query::Term::var("x")])
+            .build()
+            .unwrap();
+        assert!(matches!(classify(&q), Err(QueryError::SelfJoin { .. })));
+    }
+
+    #[test]
+    fn open_region_exists() {
+        // A query with weak non-terminal cycles that is not AC(k): take AC(2)
+        // and give S2 an extra private variable (so it is no longer all-key
+        // over exactly the cycle variables). Classification should land in
+        // the open region (or another sound region) — crucially it must not
+        // be classified as FO or coNP-complete without a strong cycle.
+        let schema = cqa_data::Schema::from_relations([("R1", 2, 1), ("R2", 2, 1), ("S", 3, 3)])
+            .unwrap()
+            .into_shared();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom("R1", [cqa_query::Term::var("x1"), cqa_query::Term::var("x2")])
+            .atom("R2", [cqa_query::Term::var("x2"), cqa_query::Term::var("x1")])
+            .atom(
+                "S",
+                [
+                    cqa_query::Term::var("x1"),
+                    cqa_query::Term::var("x2"),
+                    cqa_query::Term::var("w"),
+                ],
+            )
+            .build()
+            .unwrap();
+        let c = classify(&q).unwrap();
+        assert!(
+            matches!(
+                c.class,
+                ComplexityClass::OpenConjecturedPtime | ComplexityClass::PolynomialTime(_)
+            ),
+            "got {:?}",
+            c.class
+        );
+    }
+
+    #[test]
+    fn display_strings_mention_the_theorems() {
+        assert!(ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles)
+            .to_string()
+            .contains("Theorem 3"));
+        assert!(ComplexityClass::PolynomialTime(PtimeReason::CycleQueryAc { k: 3 })
+            .to_string()
+            .contains("Theorem 4"));
+        assert!(ComplexityClass::CoNpComplete.to_string().contains("coNP"));
+        assert!(ComplexityClass::FirstOrderExpressible.is_tractable());
+        assert!(!ComplexityClass::CoNpComplete.is_tractable());
+    }
+}

@@ -1,0 +1,207 @@
+//! Model checking of first-order formulas over uncertain databases.
+//!
+//! An uncertain database is, in particular, an ordinary finite relational
+//! structure; a certain rewriting `φ_q` is evaluated over that structure
+//! (not over repairs). Quantifiers range over the active domain — the usual
+//! semantics for domain-independent rewritings such as the ones produced by
+//! [`crate::fo::rewrite`].
+
+use super::FoFormula;
+use cqa_data::{Fact, FxHashMap, UncertainDatabase, Value};
+use cqa_query::{Term, Variable};
+
+/// A variable assignment used during evaluation.
+pub type Environment = FxHashMap<Variable, Value>;
+
+fn eval_term(term: &Term, env: &Environment) -> Option<Value> {
+    match term {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => env.get(v).cloned(),
+    }
+}
+
+/// Evaluates `formula` over `db` under the (possibly empty) assignment `env`.
+///
+/// Free variables of the formula must be bound by `env`; unbound variables
+/// make atoms and equalities evaluate to `false` (the formulas produced by
+/// [`crate::fo::rewrite`] are sentences, so this never triggers for them).
+pub fn evaluate(formula: &FoFormula, db: &UncertainDatabase, env: &Environment) -> bool {
+    match formula {
+        FoFormula::True => true,
+        FoFormula::False => false,
+        FoFormula::Atom { relation, terms } => {
+            let values: Option<Vec<Value>> = terms.iter().map(|t| eval_term(t, env)).collect();
+            match values {
+                Some(values) => db.contains(&Fact::new(*relation, values)),
+                None => false,
+            }
+        }
+        FoFormula::Equals(a, b) => match (eval_term(a, env), eval_term(b, env)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+        FoFormula::Not(inner) => !evaluate(inner, db, env),
+        FoFormula::And(parts) => parts.iter().all(|p| evaluate(p, db, env)),
+        FoFormula::Or(parts) => parts.iter().any(|p| evaluate(p, db, env)),
+        FoFormula::Implies(a, b) => !evaluate(a, db, env) || evaluate(b, db, env),
+        FoFormula::Exists(vars, body) => quantify(vars, body, db, env, true),
+        FoFormula::Forall(vars, body) => !quantify(vars, body, db, env, false),
+    }
+}
+
+/// Evaluates the sentence (no free variables) over the database.
+pub fn evaluate_sentence(formula: &FoFormula, db: &UncertainDatabase) -> bool {
+    evaluate(formula, db, &Environment::default())
+}
+
+/// Iterates assignments of `vars` over the active domain. With
+/// `looking_for = true` returns true iff some assignment satisfies `body`
+/// (∃); with `false`, returns true iff some assignment *falsifies* it
+/// (so that `Forall` is the negation of the result).
+fn quantify(
+    vars: &[Variable],
+    body: &FoFormula,
+    db: &UncertainDatabase,
+    env: &Environment,
+    looking_for: bool,
+) -> bool {
+    let domain: Vec<Value> = db.active_domain().into_iter().collect();
+    if domain.is_empty() {
+        // Empty active domain: ∃ is false, ∀ is true.
+        return false;
+    }
+    fn rec(
+        vars: &[Variable],
+        body: &FoFormula,
+        db: &UncertainDatabase,
+        env: &mut Environment,
+        domain: &[Value],
+        looking_for: bool,
+    ) -> bool {
+        match vars.split_first() {
+            None => evaluate(body, db, env) == looking_for,
+            Some((v, rest)) => {
+                for value in domain {
+                    let previous = env.insert(v.clone(), value.clone());
+                    let found = rec(rest, body, db, env, domain, looking_for);
+                    match previous {
+                        Some(p) => {
+                            env.insert(v.clone(), p);
+                        }
+                        None => {
+                            env.remove(v);
+                        }
+                    }
+                    if found {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+    let mut scratch = env.clone();
+    rec(vars, body, db, &mut scratch, &domain, looking_for)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_data::Schema;
+
+    fn db() -> UncertainDatabase {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap().into_shared();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("R", ["a", "1"]).unwrap();
+        db.insert_values("R", ["a", "2"]).unwrap();
+        db.insert_values("R", ["b", "1"]).unwrap();
+        db
+    }
+
+    fn r(db: &UncertainDatabase) -> cqa_data::RelationId {
+        db.schema().relation_id("R").unwrap()
+    }
+
+    #[test]
+    fn atoms_and_equalities() {
+        let db = db();
+        let rel = r(&db);
+        let present = FoFormula::atom(rel, vec![Term::constant("a"), Term::constant("1")]);
+        let absent = FoFormula::atom(rel, vec![Term::constant("b"), Term::constant("2")]);
+        assert!(evaluate_sentence(&present, &db));
+        assert!(!evaluate_sentence(&absent, &db));
+        assert!(evaluate_sentence(
+            &FoFormula::Equals(Term::constant("x"), Term::constant("x")),
+            &db
+        ));
+        assert!(!evaluate_sentence(
+            &FoFormula::Equals(Term::constant("x"), Term::constant("y")),
+            &db
+        ));
+    }
+
+    #[test]
+    fn quantifiers_range_over_the_active_domain() {
+        let db = db();
+        let rel = r(&db);
+        // ∃x R(x, '1') — true (x = a or b).
+        let exists = FoFormula::exists(
+            vec![Variable::new("x")],
+            FoFormula::atom(rel, vec![Term::var("x"), Term::constant("1")]),
+        );
+        assert!(evaluate_sentence(&exists, &db));
+        // ∀x (R(x,'1') → R(x,'2')) — false (b has no 2).
+        let forall = FoFormula::forall(
+            vec![Variable::new("x")],
+            FoFormula::Implies(
+                Box::new(FoFormula::atom(rel, vec![Term::var("x"), Term::constant("1")])),
+                Box::new(FoFormula::atom(rel, vec![Term::var("x"), Term::constant("2")])),
+            ),
+        );
+        assert!(!evaluate_sentence(&forall, &db));
+        // ∀x (R(x,'2') → R(x,'1')) — true (only a has 2, and R(a,1) holds).
+        let forall2 = FoFormula::forall(
+            vec![Variable::new("x")],
+            FoFormula::Implies(
+                Box::new(FoFormula::atom(rel, vec![Term::var("x"), Term::constant("2")])),
+                Box::new(FoFormula::atom(rel, vec![Term::var("x"), Term::constant("1")])),
+            ),
+        );
+        assert!(evaluate_sentence(&forall2, &db));
+    }
+
+    #[test]
+    fn connectives() {
+        let db = db();
+        assert!(evaluate_sentence(
+            &FoFormula::Or(vec![FoFormula::False, FoFormula::True]),
+            &db
+        ));
+        assert!(!evaluate_sentence(
+            &FoFormula::And(vec![FoFormula::False, FoFormula::True]),
+            &db
+        ));
+        assert!(evaluate_sentence(&FoFormula::Not(Box::new(FoFormula::False)), &db));
+        assert!(evaluate_sentence(
+            &FoFormula::Implies(Box::new(FoFormula::False), Box::new(FoFormula::False)),
+            &db
+        ));
+    }
+
+    #[test]
+    fn empty_database_semantics() {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap().into_shared();
+        let empty = UncertainDatabase::new(schema);
+        let rel = empty.schema().relation_id("R").unwrap();
+        let exists = FoFormula::exists(
+            vec![Variable::new("x")],
+            FoFormula::atom(rel, vec![Term::var("x"), Term::var("x")]),
+        );
+        let forall = FoFormula::forall(
+            vec![Variable::new("x")],
+            FoFormula::False,
+        );
+        assert!(!evaluate_sentence(&exists, &empty));
+        assert!(evaluate_sentence(&forall, &empty), "∀ over empty domain is true");
+    }
+}

@@ -1,0 +1,234 @@
+//! A first-order formula AST over the relational vocabulary of a schema.
+
+use cqa_data::{RelationId, Schema};
+use cqa_query::{Term, Variable};
+use std::fmt;
+
+/// A first-order formula over relation atoms and (in)equalities of terms.
+///
+/// This is exactly the fragment needed to express certain rewritings:
+/// relation atoms, term equality, the Boolean connectives and both
+/// quantifiers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FoFormula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A relational atom `R(t1, ..., tn)`.
+    Atom {
+        /// The relation.
+        relation: RelationId,
+        /// The terms, one per position.
+        terms: Vec<Term>,
+    },
+    /// Term equality `s = t`.
+    Equals(Term, Term),
+    /// Negation.
+    Not(Box<FoFormula>),
+    /// Conjunction (empty conjunction = true).
+    And(Vec<FoFormula>),
+    /// Disjunction (empty disjunction = false).
+    Or(Vec<FoFormula>),
+    /// Implication.
+    Implies(Box<FoFormula>, Box<FoFormula>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<Variable>, Box<FoFormula>),
+    /// Universal quantification over a block of variables.
+    Forall(Vec<Variable>, Box<FoFormula>),
+}
+
+impl FoFormula {
+    /// Convenience constructor for a relational atom.
+    pub fn atom(relation: RelationId, terms: impl Into<Vec<Term>>) -> Self {
+        FoFormula::Atom {
+            relation,
+            terms: terms.into(),
+        }
+    }
+
+    /// Conjunction that flattens trivial cases.
+    pub fn and(parts: Vec<FoFormula>) -> Self {
+        let mut flattened = Vec::new();
+        for p in parts {
+            match p {
+                FoFormula::True => {}
+                FoFormula::And(inner) => flattened.extend(inner),
+                other => flattened.push(other),
+            }
+        }
+        match flattened.len() {
+            0 => FoFormula::True,
+            1 => flattened.pop().expect("len checked"),
+            _ => FoFormula::And(flattened),
+        }
+    }
+
+    /// Existential quantification that drops empty variable blocks.
+    pub fn exists(vars: Vec<Variable>, body: FoFormula) -> Self {
+        if vars.is_empty() {
+            body
+        } else {
+            FoFormula::Exists(vars, Box::new(body))
+        }
+    }
+
+    /// Universal quantification that drops empty variable blocks.
+    pub fn forall(vars: Vec<Variable>, body: FoFormula) -> Self {
+        if vars.is_empty() {
+            body
+        } else {
+            FoFormula::Forall(vars, Box::new(body))
+        }
+    }
+
+    /// Number of nodes in the formula tree (a crude size measure used by
+    /// tests and the experiment harness).
+    pub fn size(&self) -> usize {
+        match self {
+            FoFormula::True | FoFormula::False | FoFormula::Atom { .. } | FoFormula::Equals(_, _) => 1,
+            FoFormula::Not(f) => 1 + f.size(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => 1 + fs.iter().map(FoFormula::size).sum::<usize>(),
+            FoFormula::Implies(a, b) => 1 + a.size() + b.size(),
+            FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+
+    /// Pretty-prints the formula using the relation names of `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        FoDisplay {
+            formula: self,
+            schema,
+        }
+    }
+}
+
+struct FoDisplay<'a> {
+    formula: &'a FoFormula,
+    schema: &'a Schema,
+}
+
+impl FoDisplay<'_> {
+    fn write(f: &mut fmt::Formatter<'_>, formula: &FoFormula, schema: &Schema) -> fmt::Result {
+        match formula {
+            FoFormula::True => write!(f, "true"),
+            FoFormula::False => write!(f, "false"),
+            FoFormula::Atom { relation, terms } => {
+                write!(f, "{}(", schema.relation(*relation).name)?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            FoFormula::Equals(a, b) => write!(f, "{a} = {b}"),
+            FoFormula::Not(inner) => {
+                write!(f, "¬(")?;
+                Self::write(f, inner, schema)?;
+                write!(f, ")")
+            }
+            FoFormula::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    Self::write(f, p, schema)?;
+                }
+                write!(f, ")")
+            }
+            FoFormula::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    Self::write(f, p, schema)?;
+                }
+                write!(f, ")")
+            }
+            FoFormula::Implies(a, b) => {
+                write!(f, "(")?;
+                Self::write(f, a, schema)?;
+                write!(f, " → ")?;
+                Self::write(f, b, schema)?;
+                write!(f, ")")
+            }
+            FoFormula::Exists(vars, body) => {
+                write!(f, "∃")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, " {v}")?;
+                }
+                write!(f, " (")?;
+                Self::write(f, body, schema)?;
+                write!(f, ")")
+            }
+            FoFormula::Forall(vars, body) => {
+                write!(f, "∀")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, " {v}")?;
+                }
+                write!(f, " (")?;
+                Self::write(f, body, schema)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for FoDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Self::write(f, self.formula, self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_data::Schema;
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(FoFormula::and(vec![]), FoFormula::True);
+        assert_eq!(
+            FoFormula::and(vec![FoFormula::True, FoFormula::False]),
+            FoFormula::False
+        );
+        let eq = FoFormula::Equals(Term::var("x"), Term::constant("a"));
+        assert_eq!(FoFormula::and(vec![eq.clone()]), eq.clone());
+        assert_eq!(FoFormula::exists(vec![], eq.clone()), eq.clone());
+        assert_eq!(FoFormula::forall(vec![], eq.clone()), eq);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap();
+        let r = schema.relation_id("R").unwrap();
+        let formula = FoFormula::exists(
+            vec![Variable::new("x")],
+            FoFormula::and(vec![
+                FoFormula::atom(r, vec![Term::var("x"), Term::constant("a")]),
+                FoFormula::forall(
+                    vec![Variable::new("y")],
+                    FoFormula::Implies(
+                        Box::new(FoFormula::atom(r, vec![Term::var("x"), Term::var("y")])),
+                        Box::new(FoFormula::Equals(Term::var("y"), Term::constant("a"))),
+                    ),
+                ),
+            ]),
+        );
+        let text = formula.display(&schema).to_string();
+        assert!(text.contains('∃'));
+        assert!(text.contains('∀'));
+        assert!(text.contains("R(x, 'a')"));
+        assert!(formula.size() > 4);
+    }
+}

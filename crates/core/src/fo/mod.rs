@@ -1,0 +1,24 @@
+//! Certain first-order rewritings (the Theorem 1 machinery).
+//!
+//! Theorem 1 ([Wijsen 2012], restated in the paper): for an acyclic,
+//! self-join-free Boolean conjunctive query `q`, `CERTAINTY(q)` is
+//! first-order expressible **iff** the attack graph of `q` is acyclic. This
+//! module provides the positive side as executable artifacts:
+//!
+//! * [`formula::FoFormula`] — a small first-order logic AST;
+//! * [`rewrite::certain_rewriting`] — builds the certain rewriting `φ_q` by
+//!   repeatedly eliminating an unattacked atom;
+//! * [`eval`] — a model checker for [`formula::FoFormula`] over an
+//!   uncertain database (viewed as a plain first-order structure), used to
+//!   cross-validate the rewriting against the solvers;
+//! * [`sql`] — translates the rewriting into a SQL `EXISTS` / `NOT EXISTS`
+//!   query, the form in which consistent query answering is usually deployed
+//!   on top of an ordinary RDBMS.
+
+pub mod eval;
+pub mod formula;
+pub mod rewrite;
+pub mod sql;
+
+pub use formula::FoFormula;
+pub use rewrite::certain_rewriting;

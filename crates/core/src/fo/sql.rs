@@ -1,0 +1,251 @@
+//! SQL generation for certain first-order rewritings.
+//!
+//! Consistent query answering is usually deployed by rewriting the query
+//! into SQL and running it on an ordinary RDBMS; this module translates the
+//! guarded formulas produced by [`crate::fo::rewrite`] into a single SQL
+//! `SELECT` whose `EXISTS` / `NOT EXISTS` nesting mirrors the ∃ / ∀ →
+//! structure of the rewriting.
+//!
+//! Conventions: relation `R` of arity `n` becomes table `R` with columns
+//! `c1, ..., cn`. The generated statement returns one row with a single
+//! boolean-ish column `certain`.
+
+use super::FoFormula;
+use cqa_data::{Schema, Value};
+use cqa_query::{QueryError, Term, Variable};
+use rustc_hash::FxHashMap;
+
+/// Translates a certain rewriting into a SQL statement.
+///
+/// Only the guarded shapes produced by [`crate::fo::rewrite`] are supported:
+/// existential blocks whose body starts with a relational atom over the
+/// quantified variables, universal blocks whose body is an implication
+/// guarded by a relational atom, conjunctions, equalities and `true`.
+pub fn to_sql(formula: &FoFormula, schema: &Schema) -> Result<String, QueryError> {
+    let condition = translate(formula, schema, &FxHashMap::default(), &mut 0)?;
+    Ok(format!(
+        "SELECT CASE WHEN {condition} THEN 1 ELSE 0 END AS certain;"
+    ))
+}
+
+fn literal(value: &Value) -> String {
+    match value {
+        Value::Int(i) => i.to_string(),
+        other => format!("'{}'", other.to_string().replace('\'', "''")),
+    }
+}
+
+fn term_expr(
+    term: &Term,
+    bindings: &FxHashMap<Variable, String>,
+) -> Result<String, QueryError> {
+    match term {
+        Term::Const(c) => Ok(literal(c)),
+        Term::Var(v) => bindings.get(v).cloned().ok_or_else(|| QueryError::Unsupported {
+            reason: format!("variable {v} is not bound by an enclosing guard"),
+        }),
+    }
+}
+
+/// Translates a quantifier body guarded by `guard_atom`: produces the FROM
+/// alias, the WHERE constraints induced by the guard, and the bindings for
+/// the freshly guarded variables.
+fn guard_constraints(
+    relation: cqa_data::RelationId,
+    terms: &[Term],
+    quantified: &[Variable],
+    schema: &Schema,
+    bindings: &FxHashMap<Variable, String>,
+    alias_counter: &mut usize,
+) -> Result<(String, Vec<String>, FxHashMap<Variable, String>), QueryError> {
+    let alias = format!("t{}", *alias_counter);
+    *alias_counter += 1;
+    let rel = schema.relation(relation);
+    let mut constraints = Vec::new();
+    let mut extended = bindings.clone();
+    for (i, term) in terms.iter().enumerate() {
+        let column = format!("{alias}.c{}", i + 1);
+        match term {
+            Term::Const(c) => constraints.push(format!("{column} = {}", literal(c))),
+            Term::Var(v) => {
+                if let Some(expr) = extended.get(v) {
+                    constraints.push(format!("{column} = {expr}"));
+                } else if quantified.contains(v) {
+                    extended.insert(v.clone(), column);
+                } else {
+                    return Err(QueryError::Unsupported {
+                        reason: format!("unguarded free variable {v} in atom over {}", rel.name),
+                    });
+                }
+            }
+        }
+    }
+    Ok((format!("{} AS {alias}", rel.name), constraints, extended))
+}
+
+fn translate(
+    formula: &FoFormula,
+    schema: &Schema,
+    bindings: &FxHashMap<Variable, String>,
+    alias_counter: &mut usize,
+) -> Result<String, QueryError> {
+    match formula {
+        FoFormula::True => Ok("(1 = 1)".to_string()),
+        FoFormula::False => Ok("(1 = 0)".to_string()),
+        FoFormula::Equals(a, b) => Ok(format!(
+            "({} = {})",
+            term_expr(a, bindings)?,
+            term_expr(b, bindings)?
+        )),
+        FoFormula::Not(inner) => Ok(format!("NOT {}", translate(inner, schema, bindings, alias_counter)?)),
+        FoFormula::And(parts) => {
+            let translated: Result<Vec<String>, QueryError> = parts
+                .iter()
+                .map(|p| translate(p, schema, bindings, alias_counter))
+                .collect();
+            Ok(format!("({})", translated?.join(" AND ")))
+        }
+        FoFormula::Or(parts) => {
+            let translated: Result<Vec<String>, QueryError> = parts
+                .iter()
+                .map(|p| translate(p, schema, bindings, alias_counter))
+                .collect();
+            Ok(format!("({})", translated?.join(" OR ")))
+        }
+        FoFormula::Implies(a, b) => Ok(format!(
+            "(NOT {} OR {})",
+            translate(a, schema, bindings, alias_counter)?,
+            translate(b, schema, bindings, alias_counter)?
+        )),
+        FoFormula::Atom { relation, terms } => {
+            // A fully-bound membership test.
+            let (from, constraints, _) =
+                guard_constraints(*relation, terms, &[], schema, bindings, alias_counter)?;
+            let where_clause = if constraints.is_empty() {
+                "1 = 1".to_string()
+            } else {
+                constraints.join(" AND ")
+            };
+            Ok(format!("EXISTS (SELECT 1 FROM {from} WHERE {where_clause})"))
+        }
+        FoFormula::Exists(vars, body) => {
+            // Expect the body to be (possibly a conjunction starting with) a
+            // guard atom that binds the quantified variables.
+            let (guard, rest) = split_guard(body)?;
+            let FoFormula::Atom { relation, terms } = guard else {
+                return Err(QueryError::Unsupported {
+                    reason: "existential block without a relational guard".into(),
+                });
+            };
+            let (from, constraints, extended) =
+                guard_constraints(*relation, terms, vars, schema, bindings, alias_counter)?;
+            let mut where_parts = constraints;
+            for part in rest {
+                where_parts.push(translate(part, schema, &extended, alias_counter)?);
+            }
+            let where_clause = if where_parts.is_empty() {
+                "1 = 1".to_string()
+            } else {
+                where_parts.join(" AND ")
+            };
+            Ok(format!("EXISTS (SELECT 1 FROM {from} WHERE {where_clause})"))
+        }
+        FoFormula::Forall(vars, body) => {
+            // ∀ x̄ (guard → ψ)  ≡  NOT EXISTS (guard AND NOT ψ).
+            let FoFormula::Implies(guard, psi) = body.as_ref() else {
+                return Err(QueryError::Unsupported {
+                    reason: "universal block must be an implication guarded by an atom".into(),
+                });
+            };
+            let FoFormula::Atom { relation, terms } = guard.as_ref() else {
+                return Err(QueryError::Unsupported {
+                    reason: "universal block without a relational guard".into(),
+                });
+            };
+            let (from, constraints, extended) =
+                guard_constraints(*relation, terms, vars, schema, bindings, alias_counter)?;
+            let psi_sql = translate(psi, schema, &extended, alias_counter)?;
+            let mut where_parts = constraints;
+            where_parts.push(format!("NOT {psi_sql}"));
+            Ok(format!(
+                "NOT EXISTS (SELECT 1 FROM {from} WHERE {})",
+                where_parts.join(" AND ")
+            ))
+        }
+    }
+}
+
+/// Splits a quantifier body into its leading relational guard and the rest.
+fn split_guard(body: &FoFormula) -> Result<(&FoFormula, Vec<&FoFormula>), QueryError> {
+    match body {
+        FoFormula::Atom { .. } => Ok((body, Vec::new())),
+        FoFormula::And(parts) if !parts.is_empty() => {
+            if matches!(parts[0], FoFormula::Atom { .. }) {
+                Ok((&parts[0], parts[1..].iter().collect()))
+            } else {
+                Err(QueryError::Unsupported {
+                    reason: "quantifier body does not start with a relational guard".into(),
+                })
+            }
+        }
+        _ => Err(QueryError::Unsupported {
+            reason: "quantifier body does not start with a relational guard".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fo::rewrite::certain_rewriting;
+    use cqa_query::catalog;
+
+    #[test]
+    fn conference_rewriting_translates_to_sql() {
+        let q = catalog::conference().query;
+        let formula = certain_rewriting(&q).unwrap();
+        let sql = to_sql(&formula, q.schema()).unwrap();
+        assert!(sql.starts_with("SELECT CASE WHEN"));
+        assert!(sql.contains("EXISTS (SELECT 1 FROM C AS"));
+        assert!(sql.contains("NOT EXISTS"));
+        assert!(sql.contains("'Rome'"));
+        assert!(sql.contains("'A'"));
+        assert!(sql.ends_with(';'));
+    }
+
+    #[test]
+    fn path3_rewriting_translates_and_nests() {
+        let q = catalog::fo_path3().query;
+        let formula = certain_rewriting(&q).unwrap();
+        let sql = to_sql(&formula, q.schema()).unwrap();
+        // Three levels of elimination: at least three EXISTS and two NOT EXISTS.
+        assert!(sql.matches("EXISTS").count() >= 5);
+        assert!(sql.matches("NOT EXISTS").count() >= 2);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_reported() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)]).unwrap();
+        // ∀x (x = x → true) has no relational guard.
+        let formula = FoFormula::forall(
+            vec![Variable::new("x")],
+            FoFormula::Implies(
+                Box::new(FoFormula::Equals(Term::var("x"), Term::var("x"))),
+                Box::new(FoFormula::True),
+            ),
+        );
+        assert!(matches!(
+            to_sql(&formula, &schema),
+            Err(QueryError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn string_literals_are_escaped() {
+        let schema = cqa_data::Schema::from_relations([("R", 1, 1)]).unwrap();
+        let r = schema.relation_id("R").unwrap();
+        let formula = FoFormula::atom(r, vec![Term::constant("O'Brien")]);
+        let sql = to_sql(&formula, &schema).unwrap();
+        assert!(sql.contains("'O''Brien'"));
+    }
+}

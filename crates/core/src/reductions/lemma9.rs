@@ -1,0 +1,168 @@
+//! The all-key padding reduction of Lemma 9.
+//!
+//! If `q' ⊆ q` and every atom of `q \ q'` is all-key, then
+//! `db ∈ CERTAINTY(q')` iff `f(db) ∈ CERTAINTY(q)`, where `f(db)` extends
+//! `db` with **every** tuple over the active domain for each all-key
+//! relation of `q \ q'`. All-key relations are consistent by construction,
+//! so they do not add any repair choice; they merely make the extra atoms of
+//! `q` vacuously satisfiable.
+//!
+//! The paper instantiates this with `q' = C(k)` and `q = AC(k)` to settle the
+//! complexity of `CERTAINTY(C(k))` (Corollary 1).
+
+use cqa_data::{DataError, Fact, UncertainDatabase, Value};
+use cqa_query::{ConjunctiveQuery, QueryError};
+
+/// Applies the Lemma 9 reduction: pads `db` (an instance for the sub-query
+/// `sub`) with all tuples over its active domain for every relation of
+/// `full` that is not mentioned in `sub`.
+///
+/// Fails if some padded relation is not all-key (the lemma's premise) or the
+/// two queries disagree on their schema.
+pub fn pad_with_all_key_atoms(
+    db: &UncertainDatabase,
+    sub: &ConjunctiveQuery,
+    full: &ConjunctiveQuery,
+) -> Result<UncertainDatabase, QueryError> {
+    let schema = full.schema();
+    // Relations of `full` that do not occur in `sub`.
+    let extra: Vec<_> = full
+        .atoms()
+        .iter()
+        .filter(|a| !sub.atoms().iter().any(|b| b.relation() == a.relation()))
+        .collect();
+    for atom in &extra {
+        if !schema.relation(atom.relation()).is_all_key() {
+            return Err(QueryError::Unsupported {
+                reason: format!(
+                    "Lemma 9 requires the padded atom over `{}` to be all-key",
+                    schema.relation(atom.relation()).name
+                ),
+            });
+        }
+    }
+
+    let domain: Vec<Value> = db.active_domain().into_iter().collect();
+    let mut padded = UncertainDatabase::new(schema.clone());
+    for fact in db.facts() {
+        padded
+            .insert(fact.clone())
+            .map_err(|e: DataError| QueryError::Unsupported {
+                reason: format!("schema mismatch while padding: {e}"),
+            })?;
+    }
+    for atom in extra {
+        let arity = schema.relation(atom.relation()).arity();
+        // Every tuple over the active domain (|D|^arity facts).
+        let mut counters = vec![0usize; arity];
+        if domain.is_empty() {
+            continue;
+        }
+        loop {
+            let values: Vec<Value> = counters.iter().map(|&i| domain[i].clone()).collect();
+            padded
+                .insert(Fact::new(atom.relation(), values))
+                .map_err(|e| QueryError::Unsupported {
+                    reason: format!("schema mismatch while padding: {e}"),
+                })?;
+            // Advance the odometer.
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                counters[pos] += 1;
+                if counters[pos] < domain.len() {
+                    break;
+                }
+                counters[pos] = 0;
+            }
+            if counters.iter().all(|&c| c == 0) {
+                break;
+            }
+        }
+    }
+    Ok(padded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::{CertaintySolver, CycleQuerySolver, ExactOracle};
+    use cqa_query::catalog;
+
+    /// Builds a C(k) instance and an AC(k)-schema copy of it (same R facts).
+    fn ck_instance_on_ack_schema(
+        k: usize,
+        edges: &[(usize, &str, &str)],
+    ) -> (UncertainDatabase, UncertainDatabase) {
+        let ck = catalog::c_k(k).query;
+        let ack = catalog::ac_k(k).query;
+        let mut db_c = UncertainDatabase::new(ck.schema().clone());
+        let mut db_a = UncertainDatabase::new(ack.schema().clone());
+        for &(i, a, b) in edges {
+            db_c.insert_values(&format!("R{i}"), [a, b]).unwrap();
+            db_a.insert_values(&format!("R{i}"), [a, b]).unwrap();
+        }
+        (db_c, db_a)
+    }
+
+    #[test]
+    fn corollary1_reduction_preserves_certainty() {
+        // A forced 3-cycle: certain for C(3).
+        let edges = [
+            (1usize, "a", "b"),
+            (2, "b", "c"),
+            (3, "c", "a"),
+        ];
+        let (db_c, db_a) = ck_instance_on_ack_schema(3, &edges);
+        let c3 = catalog::c_k(3).query;
+        let ac3 = catalog::ac_k(3).query;
+        let oracle_c3 = ExactOracle::new(&c3).unwrap();
+        assert!(oracle_c3.is_certain_bruteforce(&db_c));
+
+        let padded = pad_with_all_key_atoms(&db_a, &c3, &ac3).unwrap();
+        // The padded database has |D|^3 S3 facts.
+        let s3 = ac3.schema().relation_id("S3").unwrap();
+        assert_eq!(padded.relation_facts(s3).count(), 27);
+        let ac_solver = CycleQuerySolver::new(&ac3).unwrap();
+        assert!(ac_solver.is_certain(&padded));
+
+        // An instance with an escape: R1(a,·) may avoid the cycle.
+        let edges2 = [
+            (1usize, "a", "b"),
+            (1, "a", "d"),
+            (2, "b", "c"),
+            (2, "d", "c"),
+            (3, "c", "a"),
+        ];
+        let (db_c2, db_a2) = ck_instance_on_ack_schema(3, &edges2);
+        // Both branches b and d reach c and close the cycle, so it is still certain;
+        // check oracle and reduction agree whatever the truth value is.
+        let truth = oracle_c3.is_certain_bruteforce(&db_c2);
+        let padded2 = pad_with_all_key_atoms(&db_a2, &c3, &ac3).unwrap();
+        assert_eq!(ac_solver.is_certain(&padded2), truth);
+    }
+
+    #[test]
+    fn non_all_key_padding_is_rejected() {
+        // Padding q0's S0 (which is not all-key) must be refused.
+        let q0 = catalog::q0().query;
+        let sub = q0.restricted_to(&[0]);
+        let db = UncertainDatabase::new(q0.schema().clone());
+        assert!(matches!(
+            pad_with_all_key_atoms(&db, &sub, &q0),
+            Err(QueryError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_database_pads_to_empty() {
+        let c3 = catalog::c_k(3).query;
+        let ac3 = catalog::ac_k(3).query;
+        let db = UncertainDatabase::new(ac3.schema().clone());
+        let padded = pad_with_all_key_atoms(&db, &c3, &ac3).unwrap();
+        assert!(padded.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Polynomial-time many-one reductions used in the paper.
+//!
+//! * [`theorem2`] — the `θ̂` construction from the proof of Theorem 2:
+//!   a reduction from `CERTAINTY(q0)` (with `q0 = {R0(x, y), S0(y, z, x)}`,
+//!   coNP-complete by Kolaitis–Pema) to `CERTAINTY(q)` for any acyclic
+//!   self-join-free query `q` whose attack graph contains a strong cycle.
+//! * [`lemma9`] — the all-key padding reduction of Lemma 9, which in
+//!   particular reduces `CERTAINTY(C(k))` to `CERTAINTY(AC(k))`
+//!   (Corollary 1).
+
+pub mod lemma9;
+pub mod theorem2;
+
+pub use lemma9::pad_with_all_key_atoms;
+pub use theorem2::Theorem2Reduction;

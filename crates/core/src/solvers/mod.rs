@@ -1,0 +1,140 @@
+//! Certain-answer solvers, one per region of the tractability frontier.
+//!
+//! | solver | region | paper |
+//! |---|---|---|
+//! | [`RewritingSolver`] | acyclic attack graph | Theorem 1 (via the rewriting of [Wijsen 2012]) |
+//! | [`TerminalCycleSolver`] | weak terminal cycles | Theorem 3 |
+//! | [`CycleQuerySolver`] | `AC(k)` / `C(k)` | Theorem 4, Corollary 1 |
+//! | [`TwoAtomSolver`] | two-atom queries | Kolaitis–Pema (used as the Theorem 3 base case) |
+//! | [`ExactOracle`] | any query | brute-force / backtracking baseline (coNP region) |
+//!
+//! [`CertaintyEngine`] classifies the query once and dispatches to the most
+//! specific solver; it is the public entry point a downstream user should
+//! reach for.
+
+pub mod cycle_query;
+pub mod oracle;
+pub mod rewriting;
+pub mod terminal_cycles;
+pub mod two_atom;
+
+pub use cycle_query::CycleQuerySolver;
+pub use oracle::ExactOracle;
+pub use rewriting::RewritingSolver;
+pub use terminal_cycles::TerminalCycleSolver;
+pub use two_atom::TwoAtomSolver;
+
+use crate::classify::{classify, Classification, ComplexityClass, PtimeReason};
+use cqa_data::UncertainDatabase;
+use cqa_query::{ConjunctiveQuery, QueryError};
+
+/// A decision procedure for `CERTAINTY(q)` with the query fixed at
+/// construction time (the paper studies data complexity: the query is not
+/// part of the input).
+pub trait CertaintySolver {
+    /// A short human-readable name (used in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// The query this solver answers certainty for.
+    fn query(&self) -> &ConjunctiveQuery;
+
+    /// True iff **every repair** of `db` satisfies the query.
+    fn is_certain(&self, db: &UncertainDatabase) -> bool;
+}
+
+/// The automatic solver: classifies the query and picks the best algorithm.
+pub struct CertaintyEngine {
+    classification: Classification,
+    solver: Box<dyn CertaintySolver + Send + Sync>,
+}
+
+impl CertaintyEngine {
+    /// Classifies `query` and builds the most specific applicable solver.
+    pub fn new(query: &ConjunctiveQuery) -> Result<Self, QueryError> {
+        let classification = classify(query)?;
+        let solver: Box<dyn CertaintySolver + Send + Sync> = match &classification.class {
+            ComplexityClass::FirstOrderExpressible => Box::new(RewritingSolver::new(query)?),
+            ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles) => {
+                Box::new(TerminalCycleSolver::new(query)?)
+            }
+            ComplexityClass::PolynomialTime(PtimeReason::CycleQueryAc { .. })
+            | ComplexityClass::PolynomialTime(PtimeReason::CycleQueryC { .. }) => {
+                Box::new(CycleQuerySolver::new(query)?)
+            }
+            ComplexityClass::CoNpComplete
+            | ComplexityClass::OpenConjecturedPtime
+            | ComplexityClass::OutsideAcyclicScope => Box::new(ExactOracle::new(query)?),
+        };
+        Ok(CertaintyEngine {
+            classification,
+            solver,
+        })
+    }
+
+    /// The classification computed at construction time.
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// The name of the solver the engine dispatched to.
+    pub fn solver_name(&self) -> &'static str {
+        self.solver.name()
+    }
+}
+
+impl CertaintySolver for CertaintyEngine {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn query(&self) -> &ConjunctiveQuery {
+        self.solver.query()
+    }
+
+    fn is_certain(&self, db: &UncertainDatabase) -> bool {
+        self.solver.is_certain(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::catalog;
+
+    #[test]
+    fn engine_dispatches_by_classification() {
+        let cases = [
+            ("conference", catalog::conference().query, "rewriting"),
+            ("fig4", catalog::fig4().query, "terminal-cycles"),
+            ("AC(3)", catalog::ac_k(3).query, "cycle-query"),
+            ("C(3)", catalog::c_k(3).query, "cycle-query"),
+            ("q1", catalog::q1().query, "exact-oracle"),
+            ("q0", catalog::q0().query, "exact-oracle"),
+        ];
+        for (name, q, expected) in cases {
+            let engine = CertaintyEngine::new(&q).unwrap();
+            assert_eq!(engine.solver_name(), expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn engine_answers_the_introduction_example() {
+        // Figure 1: the query is true in only three of the four repairs, so it
+        // is not certain.
+        let engine = CertaintyEngine::new(&catalog::conference().query).unwrap();
+        let db = catalog::conference_database();
+        assert!(!engine.is_certain(&db));
+        // Removing the uncertainty about the PODS 2016 city makes it certain.
+        let mut certain_db = db.clone();
+        let c = certain_db.schema().relation_id("C").unwrap();
+        certain_db.remove_fact(&cqa_data::Fact::new(
+            c,
+            vec![
+                cqa_data::Value::str("PODS"),
+                cqa_data::Value::str("2016"),
+                cqa_data::Value::str("Paris"),
+            ],
+        ));
+        assert!(engine.is_certain(&certain_db));
+    }
+}

@@ -1,0 +1,236 @@
+//! The exact oracle: a baseline decision procedure for `CERTAINTY(q)` that
+//! works for **every** Boolean conjunctive query (even self-joins and cyclic
+//! queries), at exponential worst-case cost.
+//!
+//! `CERTAINTY(q)` is in coNP for first-order `q` (Section 1: a "no"
+//! certificate is a repair falsifying `q`); the oracle searches for exactly
+//! such a certificate. It is used
+//!
+//! * as the solver for the coNP-complete region (Theorem 2) and the open
+//!   region of Conjecture 1,
+//! * as the ground-truth oracle against which the polynomial solvers are
+//!   validated in tests, and
+//! * as the exponential baseline in the benchmark harness.
+//!
+//! Two prunings keep the backtracking search practical on benchmark sizes:
+//! a branch whose already-chosen facts satisfy `q` can never produce a
+//! falsifying repair, and a branch whose chosen facts plus all facts of the
+//! still-undecided blocks do not satisfy `q` already *is* a falsifying branch.
+
+use super::CertaintySolver;
+use cqa_data::{Fact, UncertainDatabase};
+use cqa_query::{eval, purify, ConjunctiveQuery, QueryError};
+
+/// Exact (worst-case exponential) certainty check by falsifying-repair search.
+pub struct ExactOracle {
+    query: ConjunctiveQuery,
+}
+
+impl ExactOracle {
+    /// Builds the oracle; accepts any Boolean conjunctive query.
+    pub fn new(query: &ConjunctiveQuery) -> Result<Self, QueryError> {
+        query.require_boolean()?;
+        Ok(ExactOracle {
+            query: query.clone(),
+        })
+    }
+
+    /// Plain brute force: enumerate *all* repairs and evaluate the query on
+    /// each. Exponential in the number of violated blocks; only intended for
+    /// very small instances (tests and cross-validation).
+    pub fn is_certain_bruteforce(&self, db: &UncertainDatabase) -> bool {
+        db.repairs().all(|r| eval::satisfies(&r, &self.query))
+    }
+
+    /// Searches for a falsifying repair; returns one if it exists.
+    pub fn find_falsifying_repair(&self, db: &UncertainDatabase) -> Option<UncertainDatabase> {
+        if self.query.is_empty() {
+            return None; // The empty query is satisfied by every repair.
+        }
+        // Purify as in Lemma 1, but remember the unsupported witness fact of
+        // every removed block: the lemma's proof extends a falsifying repair
+        // of the purified database with exactly those facts (in reverse
+        // removal order) to obtain a falsifying repair of the original.
+        let mut purified = db.clone();
+        let mut removed_witnesses: Vec<Fact> = Vec::new();
+        loop {
+            let doomed = purified
+                .facts()
+                .find(|f| !purify::supports(&purified, &self.query, f))
+                .cloned();
+            match doomed {
+                Some(fact) => {
+                    removed_witnesses.push(fact.clone());
+                    purified.remove_block_of(&fact);
+                }
+                None => break,
+            }
+        }
+
+        // Blocks ordered largest-first: inconsistent blocks carry the choice.
+        let mut blocks: Vec<Vec<Fact>> = purified.blocks().map(|b| b.facts().to_vec()).collect();
+        blocks.sort_by_key(|b| std::cmp::Reverse(b.len()));
+
+        let mut chosen: Vec<Fact> = Vec::with_capacity(blocks.len());
+        if self.search(&purified, &blocks, 0, &mut chosen) {
+            // `chosen` falsifies q on the purified database; re-attach one
+            // (unsupported) fact per removed block, as in the Lemma 1 proof.
+            let facts = chosen.into_iter().chain(removed_witnesses);
+            let candidate = db.with_facts(facts);
+            debug_assert!(candidate.is_consistent());
+            debug_assert_eq!(candidate.block_count(), db.block_count());
+            debug_assert!(!eval::satisfies(&candidate, &self.query));
+            return Some(candidate);
+        }
+        None
+    }
+
+    /// Backtracking over blocks. `chosen` holds one fact per already-decided
+    /// block; returns true if some completion falsifies the query.
+    fn search(
+        &self,
+        db: &UncertainDatabase,
+        blocks: &[Vec<Fact>],
+        depth: usize,
+        chosen: &mut Vec<Fact>,
+    ) -> bool {
+        // Pruning 1: if the chosen facts alone already satisfy q, no
+        // completion of this branch can falsify it.
+        let chosen_db = db.with_facts(chosen.iter().cloned());
+        if eval::satisfies(&chosen_db, &self.query) {
+            return false;
+        }
+        if depth == blocks.len() {
+            return true; // A complete falsifying repair.
+        }
+        // Pruning 2: even taking *all* facts of the undecided blocks, if q is
+        // not satisfied then any completion falsifies it — pick arbitrarily.
+        let optimistic = db.with_facts(
+            chosen
+                .iter()
+                .cloned()
+                .chain(blocks[depth..].iter().flatten().cloned()),
+        );
+        if !eval::satisfies(&optimistic, &self.query) {
+            for block in &blocks[depth..] {
+                chosen.push(block[0].clone());
+            }
+            return true;
+        }
+        for fact in &blocks[depth] {
+            chosen.push(fact.clone());
+            if self.search(db, blocks, depth + 1, chosen) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+}
+
+impl CertaintySolver for ExactOracle {
+    fn name(&self) -> &'static str {
+        "exact-oracle"
+    }
+
+    fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    fn is_certain(&self, db: &UncertainDatabase) -> bool {
+        self.find_falsifying_repair(db).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::catalog;
+
+    #[test]
+    fn oracle_matches_brute_force_on_the_conference_example() {
+        let q = catalog::conference().query;
+        let oracle = ExactOracle::new(&q).unwrap();
+        let db = catalog::conference_database();
+        assert!(!oracle.is_certain(&db));
+        assert!(!oracle.is_certain_bruteforce(&db));
+        let repair = oracle.find_falsifying_repair(&db).unwrap();
+        assert!(repair.is_consistent());
+        assert!(repair.is_subset_of(&db));
+        assert!(!eval::satisfies(&repair, &q));
+        assert_eq!(repair.block_count(), db.block_count());
+    }
+
+    #[test]
+    fn certain_when_every_repair_satisfies() {
+        // Make the conference database certain for the query by dropping the
+        // Paris tuple: every repair then contains C(PODS,2016,Rome) and R(PODS,A).
+        let q = catalog::conference().query;
+        let oracle = ExactOracle::new(&q).unwrap();
+        let mut db = catalog::conference_database();
+        let c = db.schema().relation_id("C").unwrap();
+        db.remove_fact(&cqa_data::Fact::new(
+            c,
+            vec![
+                cqa_data::Value::str("PODS"),
+                cqa_data::Value::str("2016"),
+                cqa_data::Value::str("Paris"),
+            ],
+        ));
+        assert!(oracle.is_certain(&db));
+        assert!(oracle.is_certain_bruteforce(&db));
+        assert!(oracle.find_falsifying_repair(&db).is_none());
+    }
+
+    #[test]
+    fn empty_query_is_always_certain() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let q = ConjunctiveQuery::boolean(schema.clone(), Vec::new()).unwrap();
+        let oracle = ExactOracle::new(&q).unwrap();
+        let empty = UncertainDatabase::new(schema);
+        assert!(oracle.is_certain(&empty));
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_never_certain_on_nonempty_dbs() {
+        let q = catalog::conference().query;
+        let oracle = ExactOracle::new(&q).unwrap();
+        let schema = q.schema().clone();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("C", ["VLDB", "2020", "Tokyo"]).unwrap();
+        assert!(!oracle.is_certain(&db));
+    }
+
+    #[test]
+    fn oracle_agrees_with_brute_force_on_random_like_instances() {
+        // A deterministic pseudo-random sweep over small C(2)-style instances.
+        let q = catalog::c2_swap().query;
+        let oracle = ExactOracle::new(&q).unwrap();
+        let schema = q.schema().clone();
+        let mut mismatches = 0;
+        for seed in 0u64..40 {
+            let mut db = UncertainDatabase::new(schema.clone());
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as usize
+            };
+            for _ in 0..6 {
+                let a = next() % 3;
+                let b = next() % 3;
+                db.insert_values("R1", [format!("a{a}"), format!("b{b}")])
+                    .unwrap();
+                let c = next() % 3;
+                let d = next() % 3;
+                db.insert_values("R2", [format!("b{c}"), format!("a{d}")])
+                    .unwrap();
+            }
+            if oracle.is_certain(&db) != oracle.is_certain_bruteforce(&db) {
+                mismatches += 1;
+            }
+        }
+        assert_eq!(mismatches, 0);
+    }
+}

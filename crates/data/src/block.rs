@@ -1,0 +1,140 @@
+//! Blocks: maximal sets of key-equal facts.
+//!
+//! Section 3: *"A block of `db` is a maximal set of key-equal facts of `db`.
+//! [...] An uncertain database `db` is consistent if it does not contain two
+//! distinct facts that are key-equal (i.e., if every block of `db` is a
+//! singleton)."*
+//!
+//! Probabilistically (Section 7), the facts of one block are *disjoint*
+//! (exclusive) events, while facts of distinct blocks are independent.
+
+use crate::{Fact, RelationId, Value};
+use std::fmt;
+
+/// A stable handle to a block inside an [`crate::UncertainDatabase`].
+///
+/// Block ids are dense per database (`0..db.block_count()`), so solvers can
+/// store per-block state in plain vectors.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// Dense index of the block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a block id from a dense index (mostly useful in tests).
+    pub fn from_index(i: usize) -> Self {
+        BlockId(i as u32)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block#{}", self.0)
+    }
+}
+
+/// A maximal set of key-equal facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    relation: RelationId,
+    key: Vec<Value>,
+    facts: Vec<Fact>,
+}
+
+impl Block {
+    pub(crate) fn new(relation: RelationId, key: Vec<Value>) -> Self {
+        Block {
+            relation,
+            key,
+            facts: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, fact: Fact) -> bool {
+        if self.facts.contains(&fact) {
+            false
+        } else {
+            self.facts.push(fact);
+            true
+        }
+    }
+
+    pub(crate) fn remove(&mut self, fact: &Fact) -> bool {
+        if let Some(pos) = self.facts.iter().position(|f| f == fact) {
+            self.facts.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The relation all facts of this block belong to.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The shared primary-key value of the block.
+    pub fn key(&self) -> &[Value] {
+        &self.key
+    }
+
+    /// The facts of the block (at least one; more than one iff the block
+    /// witnesses a primary-key violation).
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Number of facts in the block.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True iff the block is empty (only transiently, during removal).
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// True iff the block is a singleton, i.e. consistent.
+    pub fn is_singleton(&self) -> bool {
+        self.facts.len() == 1
+    }
+
+    /// True iff the block contains the given fact.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.facts.contains(fact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    #[test]
+    fn blocks_deduplicate_facts() {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap();
+        let r = schema.relation_id("R").unwrap();
+        let mut block = Block::new(r, vec![Value::str("a")]);
+        let f = Fact::new(r, vec![Value::str("a"), Value::str("b")]);
+        assert!(block.push(f.clone()));
+        assert!(!block.push(f.clone()));
+        assert_eq!(block.len(), 1);
+        assert!(block.is_singleton());
+        assert!(block.contains(&f));
+    }
+
+    #[test]
+    fn removal_empties_the_block() {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap();
+        let r = schema.relation_id("R").unwrap();
+        let mut block = Block::new(r, vec![Value::str("a")]);
+        let f = Fact::new(r, vec![Value::str("a"), Value::str("b")]);
+        block.push(f.clone());
+        assert!(block.remove(&f));
+        assert!(!block.remove(&f));
+        assert!(block.is_empty());
+    }
+}

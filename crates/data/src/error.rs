@@ -1,0 +1,95 @@
+//! Error type for the data layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building schemas and databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation with the same name was already declared.
+    DuplicateRelation {
+        /// Name of the relation declared twice.
+        name: String,
+    },
+    /// The signature `[n, k]` violates `n >= k >= 1` (see Section 3: every
+    /// relation has at least one key position and the key is a prefix).
+    InvalidSignature {
+        /// Name of the offending relation.
+        name: String,
+        /// Declared arity `n`.
+        arity: usize,
+        /// Declared key length `k`.
+        key_len: usize,
+    },
+    /// A fact mentions a relation that is not part of the schema.
+    UnknownRelation {
+        /// The unresolved relation name.
+        name: String,
+    },
+    /// A fact has the wrong number of values for its relation.
+    ArityMismatch {
+        /// Relation name of the fact.
+        relation: String,
+        /// Arity declared in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// Two databases (or a database and a query) use different schemas.
+    SchemaMismatch,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateRelation { name } => {
+                write!(f, "relation `{name}` is already declared")
+            }
+            DataError::InvalidSignature {
+                name,
+                arity,
+                key_len,
+            } => write!(
+                f,
+                "relation `{name}` has invalid signature [{arity},{key_len}]: \
+                 the arity must be >= key length >= 1"
+            ),
+            DataError::UnknownRelation { name } => {
+                write!(f, "relation `{name}` is not declared in the schema")
+            }
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "fact over `{relation}` has {actual} values but the relation has arity {expected}"
+            ),
+            DataError::SchemaMismatch => write!(f, "operands use different schemas"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_relation() {
+        let e = DataError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('R'));
+        assert!(e.to_string().contains('3'));
+        let e = DataError::InvalidSignature {
+            name: "S".into(),
+            arity: 2,
+            key_len: 3,
+        };
+        assert!(e.to_string().contains("[2,3]"));
+    }
+}

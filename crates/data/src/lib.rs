@@ -1,0 +1,51 @@
+//! # cqa-data
+//!
+//! The relational data model underlying *certain conjunctive query answering*
+//! as defined in Section 3 ("Preliminaries") of
+//!
+//! > Jef Wijsen. *Charting the Tractability Frontier of Certain Conjunctive
+//! > Query Answering*. PODS 2013.
+//!
+//! An **uncertain database** is a finite set of facts over a schema in which
+//! every relation name carries a signature `[n, k]`: `n` is the arity and the
+//! first `k` positions form the primary key. Primary keys *need not be
+//! satisfied*: two distinct facts may agree on their key. A maximal set of
+//! key-equal facts is a **block**; a **repair** (possible world) is obtained
+//! by choosing exactly one fact from every block.
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — constants (strings, integers, and the tuple values produced
+//!   by the Theorem 2 reduction of the paper),
+//! * [`Schema`], [`Relation`], [`Signature`] — relation names with `[n, k]`
+//!   signatures,
+//! * [`Fact`] and key-equality,
+//! * [`UncertainDatabase`] with its block structure, consistency test and
+//!   active domain,
+//! * [`RepairIter`] / [`UncertainDatabase::repairs`] — enumeration and
+//!   counting of repairs,
+//! * small utilities shared by the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod database;
+mod error;
+mod fact;
+mod repairs;
+mod schema;
+mod value;
+
+pub use block::{Block, BlockId};
+pub use database::UncertainDatabase;
+pub use error::DataError;
+pub use fact::Fact;
+pub use repairs::{RepairIter, RepairSampler};
+pub use schema::{Relation, RelationId, Schema, Signature};
+pub use value::Value;
+
+/// Convenience alias used across the workspace for fast hash maps.
+pub type FxHashMap<K, V> = rustc_hash::FxHashMap<K, V>;
+/// Convenience alias used across the workspace for fast hash sets.
+pub type FxHashSet<T> = rustc_hash::FxHashSet<T>;

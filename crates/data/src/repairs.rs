@@ -1,0 +1,152 @@
+//! Enumeration of repairs.
+//!
+//! A repair of an uncertain database is a maximal consistent subset, i.e. a
+//! choice of exactly one fact per block (Section 3). The number of repairs is
+//! the product of the block sizes, so exhaustive enumeration is exponential in
+//! the number of violated blocks; [`RepairIter`] exists for the brute-force
+//! oracle, for tests, and for the possible-world semantics of Section 7.
+
+use crate::{Fact, UncertainDatabase};
+
+/// Iterator over all repairs of an uncertain database, in a deterministic
+/// (odometer) order.
+pub struct RepairIter<'a> {
+    db: &'a UncertainDatabase,
+    /// Facts of every block, captured once.
+    blocks: Vec<&'a [Fact]>,
+    /// Current choice per block; `None` once exhausted.
+    cursor: Option<Vec<usize>>,
+}
+
+impl<'a> RepairIter<'a> {
+    pub(crate) fn new(db: &'a UncertainDatabase) -> Self {
+        let blocks: Vec<&[Fact]> = db.blocks().map(|b| b.facts()).collect();
+        // An empty database still has exactly one repair: the empty set.
+        let cursor = Some(vec![0; blocks.len()]);
+        RepairIter { db, blocks, cursor }
+    }
+
+    /// The facts selected by the current cursor.
+    fn current_facts(&self) -> Option<Vec<Fact>> {
+        let cursor = self.cursor.as_ref()?;
+        Some(
+            cursor
+                .iter()
+                .zip(&self.blocks)
+                .map(|(&i, facts)| facts[i].clone())
+                .collect(),
+        )
+    }
+
+    /// Advances the odometer; sets `cursor` to `None` when exhausted.
+    fn advance(&mut self) {
+        let Some(cursor) = self.cursor.as_mut() else {
+            return;
+        };
+        for (i, slot) in cursor.iter_mut().enumerate().rev() {
+            *slot += 1;
+            if *slot < self.blocks[i].len() {
+                return;
+            }
+            *slot = 0;
+        }
+        self.cursor = None;
+    }
+}
+
+impl Iterator for RepairIter<'_> {
+    type Item = UncertainDatabase;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let facts = self.current_facts()?;
+        self.advance();
+        Some(self.db.with_facts(facts))
+    }
+}
+
+/// Draws pseudo-random repairs using a caller-provided choice function.
+///
+/// The data crate deliberately has no dependency on a random-number
+/// generator; callers (e.g. the Monte-Carlo estimator in `cqa-prob`) supply
+/// `choose(block_size) -> index`.
+pub struct RepairSampler<'a> {
+    db: &'a UncertainDatabase,
+}
+
+impl<'a> RepairSampler<'a> {
+    /// Creates a sampler over the given database.
+    pub fn new(db: &'a UncertainDatabase) -> Self {
+        RepairSampler { db }
+    }
+
+    /// Builds one repair, calling `choose` once per block with the block size.
+    pub fn sample<F>(&self, mut choose: F) -> UncertainDatabase
+    where
+        F: FnMut(usize) -> usize,
+    {
+        self.db.repair_by(|block| choose(block.len()) % block.len().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schema, UncertainDatabase, Value};
+    use std::collections::BTreeSet;
+
+    fn two_blocks() -> UncertainDatabase {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap().into_shared();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("R", ["a", "1"]).unwrap();
+        db.insert_values("R", ["a", "2"]).unwrap();
+        db.insert_values("R", ["a", "3"]).unwrap();
+        db.insert_values("R", ["b", "1"]).unwrap();
+        db.insert_values("R", ["b", "2"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn enumerates_the_full_product() {
+        let db = two_blocks();
+        assert_eq!(db.repair_count(), Some(6));
+        let repairs: Vec<_> = db.repairs().collect();
+        assert_eq!(repairs.len(), 6);
+        // All repairs are distinct.
+        let distinct: BTreeSet<Vec<_>> = repairs.iter().map(|r| r.sorted_facts()).collect();
+        assert_eq!(distinct.len(), 6);
+        // Each repair picks exactly one fact per block and is maximal.
+        for r in &repairs {
+            assert!(r.is_consistent());
+            assert_eq!(r.fact_count(), 2);
+            assert_eq!(r.block_count(), db.block_count());
+        }
+    }
+
+    #[test]
+    fn repairs_are_maximal_not_just_consistent() {
+        // {} and {R(a,1)} are consistent subsets but not repairs.
+        let db = two_blocks();
+        for r in db.repairs() {
+            // Every block of the original database is represented.
+            for block in db.blocks() {
+                assert!(
+                    block.facts().iter().any(|f| r.contains(f)),
+                    "repair misses block {:?}",
+                    block.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_respects_choice_function() {
+        let db = two_blocks();
+        let sampler = RepairSampler::new(&db);
+        let always_first = sampler.sample(|_| 0);
+        assert!(always_first.is_consistent());
+        assert!(always_first.contains(&Fact::new(
+            db.schema().relation_id("R").unwrap(),
+            vec![Value::str("a"), Value::str("1")],
+        )));
+    }
+}

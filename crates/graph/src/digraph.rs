@@ -1,0 +1,200 @@
+//! A small generic directed graph.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// Dense node identifier within a [`DiGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a dense index.
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed graph with node payloads of type `N`.
+///
+/// Parallel edges are collapsed (the edge set is a set); self-loops are
+/// allowed by the structure but never created by the attack-graph code (the
+/// paper's attacks require distinct atoms).
+#[derive(Clone, Debug)]
+pub struct DiGraph<N> {
+    nodes: Vec<N>,
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    edges: FxHashSet<(NodeId, NodeId)>,
+}
+
+impl<N> Default for DiGraph<N> {
+    fn default() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            succ: Vec::new(),
+            pred: Vec::new(),
+            edges: FxHashSet::default(),
+        }
+    }
+}
+
+impl<N> DiGraph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given payload and returns its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(payload);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge; returns `false` if it was already present.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        if !self.edges.insert((from, to)) {
+            return false;
+        }
+        self.succ[from.index()].push(to);
+        self.pred[to.index()].push(from);
+        true
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The payload of a node.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over `(id, payload)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succ[id.index()]
+    }
+
+    /// Predecessors of a node.
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        &self.pred[id.index()]
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.succ[id.index()].len()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.pred[id.index()].len()
+    }
+
+    /// True iff the edge `from -> to` is present.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edges.contains(&(from, to))
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Finds the node id of the first node whose payload equals `payload`.
+    pub fn find_node(&self, payload: &N) -> Option<NodeId>
+    where
+        N: PartialEq,
+    {
+        self.nodes
+            .iter()
+            .position(|n| n == payload)
+            .map(NodeId::from_index)
+    }
+}
+
+impl<N: Clone + Eq + Hash> DiGraph<N> {
+    /// Builds a graph from an edge list over payload values, creating nodes
+    /// on first use. Useful for graphs whose vertices are database constants
+    /// (Theorem 4 of the paper).
+    pub fn from_payload_edges(edges: impl IntoIterator<Item = (N, N)>) -> Self {
+        let mut graph = DiGraph::new();
+        let mut ids: FxHashMap<N, NodeId> = FxHashMap::default();
+        for (a, b) in edges {
+            let ia = *ids
+                .entry(a.clone())
+                .or_insert_with(|| graph.add_node(a.clone()));
+            let ib = *ids
+                .entry(b.clone())
+                .or_insert_with(|| graph.add_node(b.clone()));
+            graph.add_edge(ia, ib);
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let mut g: DiGraph<&str> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        assert!(g.add_edge(a, b));
+        assert!(g.add_edge(b, c));
+        assert!(g.add_edge(c, a));
+        assert!(!g.add_edge(a, b)); // duplicate
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.successors(a), &[b]);
+        assert_eq!(g.predecessors(a), &[c]);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.find_node(&"b"), Some(b));
+        assert_eq!(g.find_node(&"z"), None);
+    }
+
+    #[test]
+    fn from_payload_edges_reuses_nodes() {
+        let g = DiGraph::from_payload_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "a")]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+    }
+}

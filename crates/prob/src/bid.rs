@@ -1,0 +1,201 @@
+//! Block-independent-disjoint probabilistic databases (Definitions 9–11).
+
+use cqa_data::{Fact, FxHashMap, UncertainDatabase};
+use std::error::Error;
+use std::fmt;
+
+/// Numerical tolerance for probability sums.
+pub const EPSILON: f64 = 1e-9;
+
+/// Errors raised while building a BID database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BidError {
+    /// A probability outside `[0, 1]` was supplied.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// The probabilities of one block sum to more than 1.
+    BlockSumExceedsOne {
+        /// The sum that was found.
+        sum: f64,
+    },
+    /// A probability was supplied for a fact that is not in the database.
+    UnknownFact,
+}
+
+impl fmt::Display for BidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BidError::InvalidProbability { value } => {
+                write!(f, "probability {value} is outside [0, 1]")
+            }
+            BidError::BlockSumExceedsOne { sum } => {
+                write!(f, "block probabilities sum to {sum} > 1")
+            }
+            BidError::UnknownFact => write!(f, "probability given for a fact not in the database"),
+        }
+    }
+}
+
+impl Error for BidError {}
+
+/// A BID probabilistic database: an uncertain database plus a probability for
+/// every fact, such that the facts of one block are disjoint events (their
+/// probabilities sum to at most 1) and distinct blocks are independent.
+///
+/// The efficient encoding of Section 7.1 is used: only the marginal
+/// probability of each fact is stored; by Dalvi–Suciu (Theorem 2.4 of [8])
+/// this determines the distribution over possible worlds uniquely.
+#[derive(Clone, Debug)]
+pub struct BidDatabase {
+    db: UncertainDatabase,
+    probabilities: FxHashMap<Fact, f64>,
+}
+
+impl BidDatabase {
+    /// Builds a BID database from an uncertain database and per-fact
+    /// probabilities. Facts without an explicit probability default to the
+    /// uniform probability `1 / |block|`.
+    pub fn new(
+        db: UncertainDatabase,
+        probabilities: impl IntoIterator<Item = (Fact, f64)>,
+    ) -> Result<Self, BidError> {
+        let mut probs: FxHashMap<Fact, f64> = FxHashMap::default();
+        for (fact, p) in probabilities {
+            if !(0.0..=1.0 + EPSILON).contains(&p) {
+                return Err(BidError::InvalidProbability { value: p });
+            }
+            if !db.contains(&fact) {
+                return Err(BidError::UnknownFact);
+            }
+            probs.insert(fact, p.min(1.0));
+        }
+        // Default the remaining facts to uniform-within-block.
+        for block in db.blocks() {
+            let len = block.len() as f64;
+            for fact in block.facts() {
+                probs.entry(fact.clone()).or_insert(1.0 / len);
+            }
+        }
+        let bid = BidDatabase {
+            db,
+            probabilities: probs,
+        };
+        for block in bid.db.blocks() {
+            let sum = bid.block_sum(block.facts());
+            if sum > 1.0 + 1e-6 {
+                return Err(BidError::BlockSumExceedsOne { sum });
+            }
+        }
+        Ok(bid)
+    }
+
+    /// The **uniform-repair** BID database of an uncertain database: every
+    /// fact gets probability `1 / |block|`, so all repairs are equally likely
+    /// and their probabilities sum to 1 (the view used in Section 1 and
+    /// Section 7 to connect the two semantics).
+    pub fn uniform_over_repairs(db: &UncertainDatabase) -> Self {
+        BidDatabase::new(db.clone(), std::iter::empty()).expect("uniform probabilities are valid")
+    }
+
+    /// The underlying uncertain database.
+    pub fn database(&self) -> &UncertainDatabase {
+        &self.db
+    }
+
+    /// The probability of one fact (0 if the fact is absent).
+    pub fn probability(&self, fact: &Fact) -> f64 {
+        self.probabilities.get(fact).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of the probabilities of the given facts.
+    pub fn block_sum(&self, facts: &[Fact]) -> f64 {
+        facts.iter().map(|f| self.probability(f)).sum()
+    }
+
+    /// Iterates over `(fact, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Fact, f64)> {
+        self.db.facts().map(move |f| (f, self.probability(f)))
+    }
+
+    /// The blocks whose probabilities sum to (numerically) 1 — the sub-database
+    /// `db'` of Proposition 1.
+    pub fn full_blocks_database(&self) -> UncertainDatabase {
+        let facts: Vec<Fact> = self
+            .db
+            .blocks()
+            .filter(|b| (self.block_sum(b.facts()) - 1.0).abs() <= 1e-6)
+            .flat_map(|b| b.facts().iter().cloned())
+            .collect();
+        self.db.with_facts(facts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_data::{Schema, Value};
+
+    fn db() -> UncertainDatabase {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap().into_shared();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("R", ["a", "1"]).unwrap();
+        db.insert_values("R", ["a", "2"]).unwrap();
+        db.insert_values("R", ["b", "1"]).unwrap();
+        db
+    }
+
+    fn fact(db: &UncertainDatabase, a: &str, b: &str) -> Fact {
+        Fact::new(
+            db.schema().relation_id("R").unwrap(),
+            vec![Value::str(a), Value::str(b)],
+        )
+    }
+
+    #[test]
+    fn uniform_probabilities_sum_to_one_per_block() {
+        let db = db();
+        let bid = BidDatabase::uniform_over_repairs(&db);
+        assert!((bid.probability(&fact(&db, "a", "1")) - 0.5).abs() < EPSILON);
+        assert!((bid.probability(&fact(&db, "b", "1")) - 1.0).abs() < EPSILON);
+        for block in bid.database().blocks() {
+            assert!((bid.block_sum(block.facts()) - 1.0).abs() < EPSILON);
+        }
+        assert_eq!(bid.full_blocks_database().fact_count(), 3);
+    }
+
+    #[test]
+    fn explicit_probabilities_and_partial_blocks() {
+        let db = db();
+        let bid = BidDatabase::new(
+            db.clone(),
+            [(fact(&db, "a", "1"), 0.3), (fact(&db, "a", "2"), 0.2), (fact(&db, "b", "1"), 0.9)],
+        )
+        .unwrap();
+        assert!((bid.probability(&fact(&db, "a", "1")) - 0.3).abs() < EPSILON);
+        // The block of `b` does not sum to 1, so it is excluded from db'.
+        assert_eq!(bid.full_blocks_database().fact_count(), 0);
+        assert_eq!(bid.probability(&fact(&db, "z", "9")), 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let db = db();
+        assert!(matches!(
+            BidDatabase::new(db.clone(), [(fact(&db, "a", "1"), 1.5)]),
+            Err(BidError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            BidDatabase::new(db.clone(), [(fact(&db, "z", "z"), 0.5)]),
+            Err(BidError::UnknownFact)
+        ));
+        assert!(matches!(
+            BidDatabase::new(
+                db.clone(),
+                [(fact(&db, "a", "1"), 0.8), (fact(&db, "a", "2"), 0.8)]
+            ),
+            Err(BidError::BlockSumExceedsOne { .. })
+        ));
+    }
+}

@@ -1,0 +1,133 @@
+//! The bridge between `PROBABILITY(q)` and `CERTAINTY(q)` (Section 7.2).
+//!
+//! * **Proposition 1**: on a BID database `(db, Pr)`, the answer to
+//!   `PROBABILITY(q)` is 1 iff `db' ∈ CERTAINTY(q)`, where `db'` keeps
+//!   exactly the blocks whose probabilities sum to 1.
+//! * **Theorem 6**: if `q` is safe then `CERTAINTY(q)` is first-order
+//!   expressible. (Contrapositive, Corollary 2: if `CERTAINTY(q)` is not
+//!   FO-expressible then `PROBABILITY(q)` is ♯P-hard.)
+//!
+//! These are checked programmatically over the query catalog and random
+//! instances by the integration tests and the experiment harness.
+
+use crate::bid::BidDatabase;
+use crate::safety::is_safe;
+use cqa_core::classify::{classify, ComplexityClass};
+use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
+use cqa_query::{ConjunctiveQuery, QueryError};
+
+/// Decides `Pr(q) = 1` via Proposition 1: restrict to the blocks whose
+/// probabilities sum to 1 and test certainty there (no probability
+/// computation needed).
+pub fn probability_is_one(bid: &BidDatabase, query: &ConjunctiveQuery) -> Result<bool, QueryError> {
+    let restricted = bid.full_blocks_database();
+    let engine = CertaintyEngine::new(query)?;
+    Ok(engine.is_certain(&restricted))
+}
+
+/// The statement of Theorem 6, checked for one query: *safe implies the
+/// attack-graph classification is "first-order expressible"*.
+///
+/// Returns `Ok(true)` when the implication holds for `query` (vacuously when
+/// the query is unsafe), `Ok(false)` if it is violated (which would indicate
+/// a bug — the paper proves it always holds).
+pub fn theorem6_holds(query: &ConjunctiveQuery) -> Result<bool, QueryError> {
+    if !is_safe(query) {
+        return Ok(true);
+    }
+    let classification = classify(query)?;
+    Ok(matches!(
+        classification.class,
+        ComplexityClass::FirstOrderExpressible
+    ))
+}
+
+/// The statement of Corollary 2 for one query: if `CERTAINTY(q)` is **not**
+/// first-order expressible then `q` is unsafe (so `PROBABILITY(q)` is
+/// ♯P-hard by Theorem 5). Logically equivalent to [`theorem6_holds`].
+pub fn corollary2_holds(query: &ConjunctiveQuery) -> Result<bool, QueryError> {
+    let classification = classify(query)?;
+    if matches!(classification.class, ComplexityClass::FirstOrderExpressible) {
+        return Ok(true);
+    }
+    Ok(!is_safe(query))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{probability_exact, probability_over_repairs};
+    use cqa_data::UncertainDatabase;
+    use cqa_query::catalog;
+
+    #[test]
+    fn theorem6_and_corollary2_hold_on_the_catalog() {
+        for entry in catalog::all() {
+            if !cqa_query::join_tree::is_acyclic(&entry.query) {
+                // The classification (and Theorem 6) concerns acyclic queries;
+                // cyclic catalog queries (C(k), k >= 3) are skipped here.
+                continue;
+            }
+            assert!(
+                theorem6_holds(&entry.query).unwrap(),
+                "Theorem 6 violated on {}",
+                entry.name
+            );
+            assert!(
+                corollary2_holds(&entry.query).unwrap(),
+                "Corollary 2 violated on {}",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn proposition1_on_the_conference_database() {
+        let q = catalog::conference().query;
+        let db = catalog::conference_database();
+        // Uniform over repairs: every block sums to 1, so db' = db and
+        // Pr(q) = 1 iff db is certain — here it is not (Pr = 3/4).
+        let bid = BidDatabase::uniform_over_repairs(&db);
+        assert!(!probability_is_one(&bid, &q).unwrap());
+        assert!(probability_exact(&bid, &q) < 1.0);
+
+        // Make it certain: drop the Paris tuple.
+        let mut fixed = db.clone();
+        let c = fixed.schema().relation_id("C").unwrap();
+        fixed.remove_fact(&cqa_data::Fact::new(
+            c,
+            vec![
+                cqa_data::Value::str("PODS"),
+                cqa_data::Value::str("2016"),
+                cqa_data::Value::str("Paris"),
+            ],
+        ));
+        let bid_fixed = BidDatabase::uniform_over_repairs(&fixed);
+        assert!(probability_is_one(&bid_fixed, &q).unwrap());
+        assert!((probability_exact(&bid_fixed, &q) - 1.0).abs() < 1e-9);
+        assert!((probability_over_repairs(&fixed, &q) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proposition1_with_sub_one_blocks() {
+        // A block summing to less than 1 is excluded from db', so even a
+        // "certainly joining" fact with probability < 1 prevents Pr(q) = 1.
+        let q = catalog::conference().query;
+        let schema = q.schema().clone();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("C", ["PODS", "2016", "Rome"]).unwrap();
+        db.insert_values("R", ["PODS", "A"]).unwrap();
+        let c_fact = db
+            .facts()
+            .find(|f| f.relation() == db.schema().relation_id("C").unwrap())
+            .unwrap()
+            .clone();
+        let bid = BidDatabase::new(db.clone(), [(c_fact, 0.9)]).unwrap();
+        assert!(!probability_is_one(&bid, &q).unwrap());
+        let exact = probability_exact(&bid, &q);
+        assert!((exact - 0.9).abs() < 1e-9);
+        // With probability 1 instead, Proposition 1 flips.
+        let bid_full = BidDatabase::uniform_over_repairs(&db);
+        assert!(probability_is_one(&bid_full, &q).unwrap());
+    }
+}

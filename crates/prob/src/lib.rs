@@ -1,0 +1,33 @@
+//! # cqa-prob
+//!
+//! Block-independent-disjoint (BID) probabilistic databases and the bridge
+//! between `CERTAINTY(q)` and `PROBABILITY(q)` developed in Section 7 of
+//!
+//! > Jef Wijsen. *Charting the Tractability Frontier of Certain Conjunctive
+//! > Query Answering*. PODS 2013.
+//!
+//! Provided here:
+//!
+//! * [`BidDatabase`] — an uncertain database with per-fact probabilities in
+//!   which the facts of one block are disjoint events and facts of distinct
+//!   blocks are independent (Definitions 9–11);
+//! * [`safety::is_safe`] — the `IsSafe` algorithm of Section 7 (Dalvi–Suciu);
+//! * [`eval::probability_safe`] — polynomial evaluation of `PROBABILITY(q)`
+//!   for safe queries, mirroring the rules of `IsSafe`;
+//! * [`eval::probability_exact`] — exhaustive possible-world evaluation
+//!   (exponential; the test oracle), and a Monte-Carlo estimator;
+//! * [`counting`] — the counting variant `♯CERTAINTY(q)` by brute force;
+//! * [`bridge`] — Proposition 1 (`Pr(q) = 1` vs. certainty) and Theorem 6
+//!   (safety implies first-order expressibility of `CERTAINTY(q)`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bid;
+pub mod bridge;
+pub mod counting;
+pub mod eval;
+pub mod safety;
+
+pub use bid::BidDatabase;
+pub use safety::is_safe;

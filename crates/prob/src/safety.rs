@@ -1,0 +1,195 @@
+//! The `IsSafe` algorithm (Section 7, after Dalvi–Suciu).
+//!
+//! A self-join-free Boolean conjunctive query is **safe** iff the recursive
+//! procedure below returns true; safe queries have `PROBABILITY(q)` in FP and
+//! unsafe ones are ♯P-hard (Theorem 5). The rules, in order:
+//!
+//! * **R1** — a single ground atom is safe;
+//! * **R2** — if the query splits into two non-empty, variable-disjoint
+//!   parts, it is safe iff both parts are;
+//! * **R3** — if some variable occurs in the key of *every* atom, substitute
+//!   a constant for it and recurse (independent project);
+//! * **R4** — if some atom has a constant key but a variable elsewhere,
+//!   substitute a constant for one of its variables and recurse (disjoint
+//!   project).
+
+use cqa_data::Value;
+use cqa_query::{substitute, ConjunctiveQuery, Variable};
+use std::collections::BTreeSet;
+
+/// A single step of the `IsSafe` recursion, reported for tracing/diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SafetyRule {
+    /// R1: single ground atom.
+    GroundAtom,
+    /// R2: split into variable-disjoint components.
+    IndependentJoin,
+    /// R3: a variable common to all keys was projected.
+    IndependentProject(Variable),
+    /// R4: a constant-key atom's variable was projected.
+    DisjointProject(Variable),
+    /// No rule applies: the query is unsafe.
+    Unsafe,
+}
+
+/// Splits the query into variable-disjoint connected components (of the
+/// variable-sharing graph on atoms).
+pub fn connected_components(query: &ConjunctiveQuery) -> Vec<ConjunctiveQuery> {
+    let n = query.len();
+    let mut component = vec![usize::MAX; n];
+    let mut next_component = 0usize;
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        component[start] = next_component;
+        while let Some(i) = stack.pop() {
+            let vars_i = query.atom(i).vars();
+            for j in 0..n {
+                if component[j] == usize::MAX
+                    && query.atom(j).vars().intersection(&vars_i).next().is_some()
+                {
+                    component[j] = next_component;
+                    stack.push(j);
+                }
+            }
+        }
+        next_component += 1;
+    }
+    (0..next_component)
+        .map(|c| {
+            let ids: Vec<usize> = (0..n).filter(|&i| component[i] == c).collect();
+            query.restricted_to(&ids)
+        })
+        .collect()
+}
+
+/// Returns the rule that applies to `query` at the top level.
+pub fn applicable_rule(query: &ConjunctiveQuery) -> SafetyRule {
+    // R1.
+    if query.len() == 1 && query.vars().is_empty() {
+        return SafetyRule::GroundAtom;
+    }
+    // R2.
+    if connected_components(query).len() > 1 {
+        return SafetyRule::IndependentJoin;
+    }
+    // R3.
+    let mut common: Option<BTreeSet<Variable>> = None;
+    for id in query.atom_ids() {
+        let key = query.key_vars(id);
+        common = Some(match common {
+            None => key,
+            Some(c) => c.intersection(&key).cloned().collect(),
+        });
+    }
+    if let Some(c) = common {
+        if let Some(x) = c.into_iter().next() {
+            return SafetyRule::IndependentProject(x);
+        }
+    }
+    // R4.
+    for id in query.atom_ids() {
+        if query.key_vars(id).is_empty() && !query.vars_of(id).is_empty() {
+            let x = query
+                .vars_of(id)
+                .into_iter()
+                .next()
+                .expect("non-empty variable set");
+            return SafetyRule::DisjointProject(x);
+        }
+    }
+    SafetyRule::Unsafe
+}
+
+/// The `IsSafe` predicate of Section 7.
+///
+/// The empty query is vacuously safe (its probability is 1).
+pub fn is_safe(query: &ConjunctiveQuery) -> bool {
+    if query.is_empty() {
+        return true;
+    }
+    let placeholder = Value::str("⊥safe⊥");
+    match applicable_rule(query) {
+        SafetyRule::GroundAtom => true,
+        SafetyRule::IndependentJoin => connected_components(query).iter().all(is_safe),
+        SafetyRule::IndependentProject(x) | SafetyRule::DisjointProject(x) => {
+            is_safe(&substitute::substitute_var(query, &x, &placeholder))
+        }
+        SafetyRule::Unsafe => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::{catalog, Term};
+
+    #[test]
+    fn catalog_safety_statuses() {
+        // The conference query: C(x,y;'Rome'), R(x;'A') — x is in both keys (R3),
+        // then C has a constant key and variable y (R4): safe.
+        assert!(is_safe(&catalog::conference().query));
+        // Single-relation queries are safe.
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let single = ConjunctiveQuery::builder(schema)
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .build()
+            .unwrap();
+        assert!(is_safe(&single));
+        // path2 = {R(x;y), S(y;z)}: no common key variable, no constant-key atom: unsafe.
+        assert!(!is_safe(&catalog::fo_path2().query));
+        // q0, q1, C(k), AC(k) are all unsafe.
+        assert!(!is_safe(&catalog::q0().query));
+        assert!(!is_safe(&catalog::q1().query));
+        assert!(!is_safe(&catalog::c_k(3).query));
+        assert!(!is_safe(&catalog::ac_k(3).query));
+        assert!(!is_safe(&catalog::fig4().query));
+    }
+
+    #[test]
+    fn rules_fire_in_the_documented_order() {
+        let q = catalog::conference().query;
+        assert!(matches!(
+            applicable_rule(&q),
+            SafetyRule::IndependentProject(_)
+        ));
+        // Two variable-disjoint atoms trigger R2.
+        let schema = cqa_data::Schema::from_relations([("A", 1, 1), ("B", 1, 1)])
+            .unwrap()
+            .into_shared();
+        let q2 = ConjunctiveQuery::builder(schema)
+            .atom("A", [Term::var("u")])
+            .atom("B", [Term::var("v")])
+            .build()
+            .unwrap();
+        assert_eq!(applicable_rule(&q2), SafetyRule::IndependentJoin);
+        assert!(is_safe(&q2));
+        assert_eq!(connected_components(&q2).len(), 2);
+    }
+
+    #[test]
+    fn ground_atoms_are_safe() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom("R", [Term::constant("a"), Term::constant("b")])
+            .build()
+            .unwrap();
+        assert_eq!(applicable_rule(&q), SafetyRule::GroundAtom);
+        assert!(is_safe(&q));
+    }
+
+    #[test]
+    fn empty_query_is_safe() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let q = ConjunctiveQuery::boolean(schema, Vec::new()).unwrap();
+        assert!(is_safe(&q));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for query construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building or analysing conjunctive queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An atom's term count does not match the relation's declared arity.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of terms supplied.
+        actual: usize,
+    },
+    /// An atom mentions a relation missing from the schema.
+    UnknownRelation {
+        /// The unresolved relation name.
+        name: String,
+    },
+    /// The operation requires a query without self-joins (the paper's
+    /// standing assumption), but a relation name occurs in more than one atom.
+    SelfJoin {
+        /// The repeated relation name.
+        relation: String,
+    },
+    /// The operation requires an acyclic query (one that admits a join tree),
+    /// but the query is cyclic.
+    CyclicQuery,
+    /// The operation requires a Boolean query but free variables are present.
+    NotBoolean,
+    /// A query uses more variables than the bit-set representation supports.
+    TooManyVariables {
+        /// Number of variables in the query.
+        count: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A free variable does not occur in any atom.
+    UnboundFreeVariable {
+        /// Name of the offending variable.
+        name: String,
+    },
+    /// The query does not have the shape required by a specialised algorithm
+    /// (e.g. the `C(k)` / `AC(k)` solver of Theorem 4).
+    Unsupported {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "atom over `{relation}` has {actual} terms but the relation has arity {expected}"
+            ),
+            QueryError::UnknownRelation { name } => {
+                write!(f, "relation `{name}` is not declared in the schema")
+            }
+            QueryError::SelfJoin { relation } => write!(
+                f,
+                "query has a self-join on `{relation}`; this operation requires self-join-free queries"
+            ),
+            QueryError::CyclicQuery => {
+                write!(f, "query is cyclic (it has no join tree); this operation requires an acyclic query")
+            }
+            QueryError::NotBoolean => write!(f, "operation requires a Boolean query"),
+            QueryError::TooManyVariables { count, max } => {
+                write!(f, "query has {count} variables; at most {max} are supported")
+            }
+            QueryError::UnboundFreeVariable { name } => {
+                write!(f, "free variable `{name}` does not occur in any atom")
+            }
+            QueryError::Unsupported { reason } => write!(f, "unsupported query shape: {reason}"),
+        }
+    }
+}
+
+impl Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(QueryError::SelfJoin {
+            relation: "R".into()
+        }
+        .to_string()
+        .contains("self-join"));
+        assert!(QueryError::CyclicQuery.to_string().contains("join tree"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Query evaluation over (uncertain) databases.
+//!
+//! `db |= q` holds iff there is a valuation `θ` over `vars(q)` with
+//! `θ(q) ⊆ db` (Section 3). Evaluation here treats the uncertain database as
+//! a plain relational instance — certainty semantics (truth in *every*
+//! repair) is implemented on top of this by `cqa-core`.
+
+use crate::{ConjunctiveQuery, Valuation};
+use cqa_data::{UncertainDatabase, Value};
+use std::collections::BTreeSet;
+
+/// Chooses an evaluation order for the atoms: smaller relations first, then
+/// greedily preferring atoms connected to already-placed atoms (a simple
+/// greedy join order that avoids Cartesian products when possible).
+fn atom_order(db: &UncertainDatabase, query: &ConjunctiveQuery) -> Vec<usize> {
+    let n = query.len();
+    let sizes: Vec<usize> = query
+        .atoms()
+        .iter()
+        .map(|a| db.relation_facts(a.relation()).count())
+        .collect();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound_vars: BTreeSet<crate::Variable> = BTreeSet::new();
+    while !remaining.is_empty() {
+        // Prefer atoms sharing a variable with what is already bound, then
+        // smaller relations, then lower atom id (determinism).
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| {
+                let connected = query.atom(i).vars().iter().any(|v| bound_vars.contains(v));
+                // Sort key: connected atoms first, then smaller relations, then atom id.
+                (!(order.is_empty() || connected), sizes[i], i)
+            })
+            .expect("remaining is non-empty");
+        order.push(best);
+        bound_vars.extend(query.atom(best).vars());
+        remaining.remove(pos);
+    }
+    order
+}
+
+/// Backtracking join. Calls `on_match` for every valuation `θ` over `vars(q)`
+/// with `θ(q) ⊆ db` that extends `base`; stops early if `on_match` returns
+/// `true` and reports whether it did.
+fn search<F>(
+    db: &UncertainDatabase,
+    query: &ConjunctiveQuery,
+    order: &[usize],
+    depth: usize,
+    current: &Valuation,
+    on_match: &mut F,
+) -> bool
+where
+    F: FnMut(&Valuation) -> bool,
+{
+    if depth == order.len() {
+        return on_match(current);
+    }
+    let atom = query.atom(order[depth]);
+    let schema = query.schema();
+    for fact in db.relation_facts(atom.relation()) {
+        if let Some(extended) = current.unify_with_fact(atom, fact, schema) {
+            if search(db, query, order, depth + 1, &extended, on_match) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True iff `db |= q`, i.e. some valuation maps every atom of `q` into `db`.
+pub fn satisfies(db: &UncertainDatabase, query: &ConjunctiveQuery) -> bool {
+    satisfies_with(db, query, &Valuation::new())
+}
+
+/// True iff some valuation *extending `base`* maps every atom of `q` into `db`.
+pub fn satisfies_with(
+    db: &UncertainDatabase,
+    query: &ConjunctiveQuery,
+    base: &Valuation,
+) -> bool {
+    let order = atom_order(db, query);
+    search(db, query, &order, 0, base, &mut |_| true)
+}
+
+/// Finds one satisfying valuation, if any.
+pub fn find_valuation(db: &UncertainDatabase, query: &ConjunctiveQuery) -> Option<Valuation> {
+    let order = atom_order(db, query);
+    let mut found = None;
+    search(db, query, &order, 0, &Valuation::new(), &mut |v| {
+        found = Some(v.clone());
+        true
+    });
+    found
+}
+
+/// Enumerates **all** valuations `θ` over `vars(q)` with `θ(q) ⊆ db`.
+///
+/// The result is deduplicated (the same total valuation cannot be produced
+/// twice by the backtracking join, but callers should not rely on order).
+pub fn all_valuations(db: &UncertainDatabase, query: &ConjunctiveQuery) -> Vec<Valuation> {
+    let order = atom_order(db, query);
+    let mut out = Vec::new();
+    search(db, query, &order, 0, &Valuation::new(), &mut |v| {
+        out.push(v.clone());
+        false
+    });
+    out
+}
+
+/// The answers to a (possibly non-Boolean) query on `db`: the set of tuples
+/// of constants for the free variables under some satisfying valuation.
+///
+/// For a Boolean query this returns `{[]}` if `db |= q` and `{}` otherwise.
+pub fn answers(db: &UncertainDatabase, query: &ConjunctiveQuery) -> BTreeSet<Vec<Value>> {
+    let mut out = BTreeSet::new();
+    let order = atom_order(db, query);
+    search(db, query, &order, 0, &Valuation::new(), &mut |v| {
+        if let Some(tuple) = v.project(query.free_vars()) {
+            out.insert(tuple);
+        }
+        false
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Term, Variable};
+    use cqa_data::Schema;
+    use std::sync::Arc;
+
+    fn conference_db() -> (Arc<Schema>, UncertainDatabase) {
+        let schema = Schema::from_relations([("C", 3, 2), ("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let mut db = UncertainDatabase::new(schema.clone());
+        db.insert_values("C", ["PODS", "2016", "Rome"]).unwrap();
+        db.insert_values("C", ["PODS", "2016", "Paris"]).unwrap();
+        db.insert_values("C", ["KDD", "2017", "Rome"]).unwrap();
+        db.insert_values("R", ["PODS", "A"]).unwrap();
+        db.insert_values("R", ["KDD", "A"]).unwrap();
+        db.insert_values("R", ["KDD", "B"]).unwrap();
+        (schema, db)
+    }
+
+    /// The Section 1 query: ∃x∃y (C(x, y, 'Rome') ∧ R(x, 'A')).
+    fn rome_query(schema: &Arc<Schema>) -> ConjunctiveQuery {
+        ConjunctiveQuery::builder(schema.clone())
+            .atom(
+                "C",
+                [Term::var("x"), Term::var("y"), Term::constant("Rome")],
+            )
+            .atom("R", [Term::var("x"), Term::constant("A")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn satisfaction_on_the_conference_database() {
+        let (schema, db) = conference_db();
+        let q = rome_query(&schema);
+        assert!(satisfies(&db, &q));
+        // Two witnesses: PODS 2016 Rome and KDD 2017 Rome (both rank A rows join).
+        let vals = all_valuations(&db, &q);
+        assert_eq!(vals.len(), 2);
+        for v in &vals {
+            assert!(v.is_total_on(&q.vars()));
+            let facts = v.apply_query(&q).unwrap();
+            assert!(facts.iter().all(|f| db.contains(f)));
+        }
+    }
+
+    #[test]
+    fn unsatisfied_query() {
+        let (schema, db) = conference_db();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom(
+                "C",
+                [Term::var("x"), Term::var("y"), Term::constant("Tokyo")],
+            )
+            .build()
+            .unwrap();
+        assert!(!satisfies(&db, &q));
+        assert!(find_valuation(&db, &q).is_none());
+        assert!(all_valuations(&db, &q).is_empty());
+    }
+
+    #[test]
+    fn empty_query_is_always_satisfied() {
+        let (schema, db) = conference_db();
+        let q = ConjunctiveQuery::boolean(schema.clone(), Vec::new()).unwrap();
+        assert!(satisfies(&db, &q));
+        let empty_db = UncertainDatabase::new(schema);
+        assert!(satisfies(&empty_db, &q));
+        assert_eq!(all_valuations(&empty_db, &q).len(), 1);
+    }
+
+    #[test]
+    fn answers_project_free_variables() {
+        let (schema, db) = conference_db();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom(
+                "C",
+                [Term::var("x"), Term::var("y"), Term::constant("Rome")],
+            )
+            .atom("R", [Term::var("x"), Term::constant("A")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap();
+        let ans = answers(&db, &q);
+        let expected: BTreeSet<Vec<Value>> =
+            [vec![Value::str("PODS")], vec![Value::str("KDD")]].into_iter().collect();
+        assert_eq!(ans, expected);
+    }
+
+    #[test]
+    fn boolean_answers_are_the_empty_tuple() {
+        let (schema, db) = conference_db();
+        let q = rome_query(&schema);
+        let ans = answers(&db, &q);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&Vec::new()));
+    }
+
+    #[test]
+    fn satisfies_with_respects_partial_bindings() {
+        let (schema, db) = conference_db();
+        let q = rome_query(&schema);
+        let mut base = Valuation::new();
+        base.bind(Variable::new("x"), Value::str("KDD"));
+        assert!(satisfies_with(&db, &q, &base));
+        let mut base2 = Valuation::new();
+        base2.bind(Variable::new("x"), Value::str("ICML"));
+        assert!(!satisfies_with(&db, &q, &base2));
+    }
+
+    #[test]
+    fn repeated_variables_join_within_an_atom() {
+        let schema = Schema::from_relations([("E", 2, 1)]).unwrap().into_shared();
+        let mut db = UncertainDatabase::new(schema.clone());
+        db.insert_values("E", ["a", "a"]).unwrap();
+        db.insert_values("E", ["b", "c"]).unwrap();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom("E", [Term::var("x"), Term::var("x")])
+            .build()
+            .unwrap();
+        let vals = all_valuations(&db, &q);
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0].get(&Variable::new("x")), Some(&Value::str("a")));
+    }
+
+    #[test]
+    fn cartesian_products_are_still_correct() {
+        // Two atoms with disjoint variables: the join degenerates to a product.
+        let schema = Schema::from_relations([("A", 1, 1), ("B", 1, 1)])
+            .unwrap()
+            .into_shared();
+        let mut db = UncertainDatabase::new(schema.clone());
+        db.insert_values("A", ["1"]).unwrap();
+        db.insert_values("A", ["2"]).unwrap();
+        db.insert_values("B", ["x"]).unwrap();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom("A", [Term::var("u")])
+            .atom("B", [Term::var("v")])
+            .build()
+            .unwrap();
+        assert_eq!(all_valuations(&db, &q).len(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Functional dependencies arising from primary keys (Definition 1).
+//!
+//! For every atom `F` of a query `q`, the primary key of `F` induces the
+//! functional dependency `key(F) → vars(F)` over the variables of the query.
+//! The set of all such dependencies is `K(q)`; attribute closures with
+//! respect to `K(q \ {F})` and `K(q)` define `F^{+,q}` (Definition 2) and
+//! `F^{⊞,q}` (Definition 5) respectively — those closures are computed in
+//! `cqa-core`, on top of the generic machinery here.
+
+use crate::{AtomId, ConjunctiveQuery, VarIndex, VarSet};
+use std::fmt;
+
+/// A functional dependency `lhs → rhs` over variable positions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FunctionalDependency {
+    /// Left-hand side (determinant).
+    pub lhs: VarSet,
+    /// Right-hand side (dependent set).
+    pub rhs: VarSet,
+}
+
+/// A set of functional dependencies over the variables of one query,
+/// indexed by a shared [`VarIndex`].
+#[derive(Clone, Default, Debug)]
+pub struct FdSet {
+    deps: Vec<FunctionalDependency>,
+}
+
+impl FdSet {
+    /// The empty set of dependencies.
+    pub fn new() -> Self {
+        FdSet::default()
+    }
+
+    /// Adds a dependency.
+    pub fn add(&mut self, lhs: VarSet, rhs: VarSet) {
+        self.deps.push(FunctionalDependency { lhs, rhs });
+    }
+
+    /// The dependencies.
+    pub fn dependencies(&self) -> &[FunctionalDependency] {
+        &self.deps
+    }
+
+    /// `K(q)`: one dependency `key(F) → vars(F)` per atom of `q`
+    /// (Definition 1).
+    pub fn of_query(query: &ConjunctiveQuery, index: &VarIndex) -> FdSet {
+        Self::of_atoms(query, query.atom_ids(), index)
+    }
+
+    /// `K(q')` for the sub-query consisting of the listed atoms; with
+    /// `q' = q \ {F}` this is the dependency set of Definition 2.
+    pub fn of_atoms(
+        query: &ConjunctiveQuery,
+        atoms: impl IntoIterator<Item = AtomId>,
+        index: &VarIndex,
+    ) -> FdSet {
+        let mut set = FdSet::new();
+        for id in atoms {
+            let key = index.set_of(&query.key_vars(id));
+            let vars = index.set_of(&query.vars_of(id));
+            set.add(key, vars);
+        }
+        set
+    }
+
+    /// The attribute closure of `start` with respect to this dependency set:
+    /// the least superset `X ⊇ start` such that `lhs ⊆ X` implies `rhs ⊆ X`
+    /// for every dependency.
+    pub fn closure(&self, start: VarSet) -> VarSet {
+        let mut closure = start;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for dep in &self.deps {
+                if dep.lhs.is_subset_of(&closure) && !dep.rhs.is_subset_of(&closure) {
+                    closure = closure.union(dep.rhs);
+                    changed = true;
+                }
+            }
+        }
+        closure
+    }
+
+    /// True iff the dependency set entails `lhs → rhs`.
+    pub fn implies(&self, lhs: VarSet, rhs: VarSet) -> bool {
+        rhs.is_subset_of(&self.closure(lhs))
+    }
+}
+
+impl fmt::Display for FdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, dep) in self.deps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:?}→{:?}", dep.lhs, dep.rhs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConjunctiveQuery, Term, Variable};
+    use cqa_data::Schema;
+
+    /// The query q1 of Example 2: {R(u, 'a', x), S(y, x, z), T(x, y), P(x, z)}.
+    fn q1() -> ConjunctiveQuery {
+        let schema = Schema::from_relations([("R", 3, 1), ("S", 3, 1), ("T", 2, 1), ("P", 2, 1)])
+            .unwrap()
+            .into_shared();
+        ConjunctiveQuery::builder(schema)
+            .atom("R", [Term::var("u"), Term::constant("a"), Term::var("x")])
+            .atom("S", [Term::var("y"), Term::var("x"), Term::var("z")])
+            .atom("T", [Term::var("x"), Term::var("y")])
+            .atom("P", [Term::var("x"), Term::var("z")])
+            .build()
+            .unwrap()
+    }
+
+    fn set(index: &VarIndex, vars: &[&str]) -> VarSet {
+        index.set_of(&vars.iter().map(|s| Variable::new(s)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn example2_closures_without_each_atom() {
+        // Reproduces the closure computations of Example 2 of the paper.
+        let q = q1();
+        let index = q.var_index().unwrap();
+        let f = 0usize; // R(u, 'a', x)
+        let g = 1usize; // S(y, x, z)
+        let h = 2usize; // T(x, y)
+        let i = 3usize; // P(x, z)
+
+        // F^{+,q1} = {u}.
+        let without_f = FdSet::of_atoms(&q, [g, h, i], &index);
+        assert_eq!(
+            without_f.closure(set(&index, &["u"])),
+            set(&index, &["u"])
+        );
+        // G^{+,q1} = {y}.
+        let without_g = FdSet::of_atoms(&q, [f, h, i], &index);
+        assert_eq!(
+            without_g.closure(set(&index, &["y"])),
+            set(&index, &["y"])
+        );
+        // H^{+,q1} = {x, z}.
+        let without_h = FdSet::of_atoms(&q, [f, g, i], &index);
+        assert_eq!(
+            without_h.closure(set(&index, &["x"])),
+            set(&index, &["x", "z"])
+        );
+        // I^{+,q1} = {x, y, z}.
+        let without_i = FdSet::of_atoms(&q, [f, g, h], &index);
+        assert_eq!(
+            without_i.closure(set(&index, &["x"])),
+            set(&index, &["x", "y", "z"])
+        );
+    }
+
+    #[test]
+    fn example4_closures_with_all_atoms() {
+        // K(q1) closures of Example 4: F^{⊞} = {u,x,y,z}, G^{⊞} = H^{⊞} = I^{⊞} = {x,y,z}.
+        let q = q1();
+        let index = q.var_index().unwrap();
+        let k_q = FdSet::of_query(&q, &index);
+        assert_eq!(
+            k_q.closure(set(&index, &["u"])),
+            set(&index, &["u", "x", "y", "z"])
+        );
+        assert_eq!(
+            k_q.closure(set(&index, &["y"])),
+            set(&index, &["x", "y", "z"])
+        );
+        assert_eq!(
+            k_q.closure(set(&index, &["x"])),
+            set(&index, &["x", "y", "z"])
+        );
+    }
+
+    #[test]
+    fn implies_uses_transitivity() {
+        let q = q1();
+        let index = q.var_index().unwrap();
+        let k_q = FdSet::of_query(&q, &index);
+        // u → x (directly) and u → y (via x → y), but not y → u.
+        assert!(k_q.implies(set(&index, &["u"]), set(&index, &["x"])));
+        assert!(k_q.implies(set(&index, &["u"]), set(&index, &["y"])));
+        assert!(!k_q.implies(set(&index, &["y"]), set(&index, &["u"])));
+        // Reflexivity: X → X always holds.
+        assert!(k_q.implies(set(&index, &["z"]), set(&index, &["z"])));
+    }
+
+    #[test]
+    fn constants_do_not_contribute_attributes() {
+        // key(R) = {u} even though position 2 holds the constant 'a'.
+        let q = q1();
+        let index = q.var_index().unwrap();
+        let k = FdSet::of_atoms(&q, [0], &index);
+        assert_eq!(k.dependencies().len(), 1);
+        assert_eq!(k.dependencies()[0].lhs, set(&index, &["u"]));
+        assert_eq!(k.dependencies()[0].rhs, set(&index, &["u", "x"]));
+    }
+
+    #[test]
+    fn empty_fd_set_closure_is_identity() {
+        let q = q1();
+        let index = q.var_index().unwrap();
+        let empty = FdSet::new();
+        let x = set(&index, &["x", "y"]);
+        assert_eq!(empty.closure(x), x);
+    }
+}

@@ -1,0 +1,121 @@
+//! The GYO (Graham / Yu–Özsoyoğlu) acyclicity test.
+//!
+//! An independent check of hypergraph acyclicity used to cross-validate the
+//! maximum-spanning-tree join-tree construction of [`crate::join_tree`]:
+//! repeatedly remove *ears* (an atom whose shared variables are covered by a
+//! single other atom, or an atom sharing nothing); the query is acyclic iff
+//! at most one atom remains.
+
+use crate::{ConjunctiveQuery, Variable};
+use std::collections::BTreeSet;
+
+/// True iff the query's hypergraph is acyclic according to the GYO reduction.
+pub fn is_acyclic_gyo(query: &ConjunctiveQuery) -> bool {
+    let mut hyperedges: Vec<BTreeSet<Variable>> =
+        query.atoms().iter().map(|a| a.vars()).collect();
+
+    loop {
+        if hyperedges.len() <= 1 {
+            return true;
+        }
+        let mut removed = false;
+        'search: for i in 0..hyperedges.len() {
+            // Variables of edge i that occur in some *other* edge.
+            let shared: BTreeSet<&Variable> = hyperedges[i]
+                .iter()
+                .filter(|v| {
+                    hyperedges
+                        .iter()
+                        .enumerate()
+                        .any(|(j, e)| j != i && e.contains(v))
+                })
+                .collect();
+            // Edge i is an ear if its shared variables are contained in one
+            // other edge (or it shares nothing at all).
+            let is_ear = shared.is_empty()
+                || hyperedges.iter().enumerate().any(|(j, e)| {
+                    j != i && shared.iter().all(|v| e.contains(*v))
+                });
+            if is_ear {
+                hyperedges.remove(i);
+                removed = true;
+                break 'search;
+            }
+        }
+        if !removed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_tree::is_acyclic;
+    use crate::{ConjunctiveQuery, Term};
+    use cqa_data::Schema;
+
+    fn path_query() -> ConjunctiveQuery {
+        let schema = Schema::from_relations([("R", 2, 1), ("S", 2, 1), ("T", 2, 1)])
+            .unwrap()
+            .into_shared();
+        ConjunctiveQuery::builder(schema)
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .atom("S", [Term::var("y"), Term::var("z")])
+            .atom("T", [Term::var("z"), Term::var("w")])
+            .build()
+            .unwrap()
+    }
+
+    fn triangle_query() -> ConjunctiveQuery {
+        let schema = Schema::from_relations([("R1", 2, 1), ("R2", 2, 1), ("R3", 2, 1)])
+            .unwrap()
+            .into_shared();
+        ConjunctiveQuery::builder(schema)
+            .atom("R1", [Term::var("x1"), Term::var("x2")])
+            .atom("R2", [Term::var("x2"), Term::var("x3")])
+            .atom("R3", [Term::var("x3"), Term::var("x1")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn gyo_agrees_with_join_tree_on_basic_queries() {
+        let path = path_query();
+        assert!(is_acyclic_gyo(&path));
+        assert!(is_acyclic(&path));
+
+        let triangle = triangle_query();
+        assert!(!is_acyclic_gyo(&triangle));
+        assert!(!is_acyclic(&triangle));
+    }
+
+    #[test]
+    fn adding_an_all_variable_atom_breaks_the_cycle() {
+        let schema =
+            Schema::from_relations([("R1", 2, 1), ("R2", 2, 1), ("R3", 2, 1), ("S3", 3, 3)])
+                .unwrap()
+                .into_shared();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom("R1", [Term::var("x1"), Term::var("x2")])
+            .atom("R2", [Term::var("x2"), Term::var("x3")])
+            .atom("R3", [Term::var("x3"), Term::var("x1")])
+            .atom("S3", [Term::var("x1"), Term::var("x2"), Term::var("x3")])
+            .build()
+            .unwrap();
+        assert!(is_acyclic_gyo(&q));
+        assert!(is_acyclic(&q));
+    }
+
+    #[test]
+    fn degenerate_queries_are_acyclic() {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap().into_shared();
+        let empty = ConjunctiveQuery::boolean(schema.clone(), Vec::new()).unwrap();
+        assert!(is_acyclic_gyo(&empty));
+        let single = ConjunctiveQuery::builder(schema)
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .build()
+            .unwrap();
+        assert!(is_acyclic_gyo(&single));
+    }
+}

@@ -1,0 +1,46 @@
+//! # cqa-query
+//!
+//! Boolean conjunctive queries and the hypergraph machinery of Section 3 of
+//!
+//! > Jef Wijsen. *Charting the Tractability Frontier of Certain Conjunctive
+//! > Query Answering*. PODS 2013.
+//!
+//! Provided here:
+//!
+//! * [`Variable`], [`Term`], [`Atom`], [`ConjunctiveQuery`] — queries are
+//!   finite sets of atoms `R(x̄, ȳ)` whose key positions are a prefix of the
+//!   attribute list (signatures live in the shared [`cqa_data::Schema`]);
+//! * [`Valuation`] and query evaluation (`db |= q`, enumeration of all
+//!   valuations, answers to non-Boolean queries);
+//! * substitutions `q[x ↦ a]` (Definition 7);
+//! * functional dependencies `K(q)` and attribute closures (Definition 1);
+//! * join trees and the Connectedness Condition, plus the GYO acyclicity
+//!   test (Section 3, "Join tree and acyclic conjunctive query");
+//! * purification of uncertain databases (Lemma 1);
+//! * a catalog of the queries used throughout the paper (`q0`, `q1` of
+//!   Fig. 2, the Fig. 4 query, `C(k)` and `AC(k)` of Definition 8, …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+pub mod catalog;
+mod error;
+pub mod eval;
+pub mod fd;
+pub mod gyo;
+pub mod join_tree;
+pub mod purify;
+mod query;
+pub mod substitute;
+mod term;
+mod valuation;
+pub mod varset;
+
+pub use atom::{Atom, AtomId};
+pub use error::QueryError;
+pub use join_tree::JoinTree;
+pub use query::ConjunctiveQuery;
+pub use term::{Term, Variable};
+pub use valuation::Valuation;
+pub use varset::{VarIndex, VarSet};

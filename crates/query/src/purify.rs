@@ -1,0 +1,172 @@
+//! Purification of uncertain databases (Lemma 1).
+//!
+//! A database is *purified relative to `q`* if every fact participates in
+//! some valuation image `θ(q) ⊆ db`. Lemma 1 shows that any database can be
+//! purified in polynomial time without changing membership in
+//! `CERTAINTY(q)`: repeatedly pick a fact `A` that belongs to no valuation
+//! image and remove the **entire block** of `A`.
+//!
+//! All solvers in `cqa-core` purify their input first, exactly as the
+//! paper's proofs assume.
+
+use crate::{eval, ConjunctiveQuery, Valuation};
+use cqa_data::{Fact, UncertainDatabase};
+
+/// True iff `fact` is *relevant* for the query on `db`: some valuation `θ`
+/// over `vars(q)` satisfies `fact ∈ θ(q) ⊆ db`.
+pub fn supports(db: &UncertainDatabase, query: &ConjunctiveQuery, fact: &Fact) -> bool {
+    let schema = query.schema();
+    for atom in query.atoms() {
+        if atom.relation() != fact.relation() {
+            continue;
+        }
+        if let Some(partial) = Valuation::new().unify_with_fact(atom, fact, schema) {
+            if eval::satisfies_with(db, query, &partial) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True iff `db` is purified relative to `query`.
+pub fn is_purified(db: &UncertainDatabase, query: &ConjunctiveQuery) -> bool {
+    db.facts().all(|f| supports(db, query, f))
+}
+
+/// Purifies `db` relative to `query` (Lemma 1): repeatedly removes the block
+/// of any fact that participates in no valuation image, until the database is
+/// purified. Membership in `CERTAINTY(q)` is preserved.
+pub fn purify(db: &UncertainDatabase, query: &ConjunctiveQuery) -> UncertainDatabase {
+    let mut current = db.clone();
+    loop {
+        let doomed: Option<Fact> = current
+            .facts()
+            .find(|f| !supports(&current, query, f))
+            .cloned();
+        match doomed {
+            Some(fact) => {
+                current.remove_block_of(&fact);
+            }
+            None => return current,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConjunctiveQuery, Term};
+    use cqa_data::Schema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_relations([("R", 2, 1), ("S", 2, 1)])
+            .unwrap()
+            .into_shared()
+    }
+
+    /// The query {R(x, y), S(y, x)} of Example 1.
+    fn example1_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::builder(schema())
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .atom("S", [Term::var("y"), Term::var("x")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example1_database_is_not_purified() {
+        // {R(a,b), S(b,a), S(b,c)} is not purified: no R-fact joins with S(b,c).
+        let mut db = UncertainDatabase::new(schema());
+        db.insert_values("R", ["a", "b"]).unwrap();
+        db.insert_values("S", ["b", "a"]).unwrap();
+        db.insert_values("S", ["b", "c"]).unwrap();
+        let q = example1_query();
+        assert!(!is_purified(&db, &q));
+        let s = db.schema().relation_id("S").unwrap();
+        let offending = Fact::new(s, vec![cqa_data::Value::str("b"), cqa_data::Value::str("c")]);
+        assert!(!supports(&db, &q, &offending));
+        // S(b,a) itself does join with R(a,b).
+        let fine = Fact::new(s, vec![cqa_data::Value::str("b"), cqa_data::Value::str("a")]);
+        assert!(supports(&db, &q, &fine));
+    }
+
+    #[test]
+    fn purification_removes_whole_blocks() {
+        // Removing S(b,c) means removing its entire block {S(b,a), S(b,c)},
+        // which in turn makes R(a,b) irrelevant: everything disappears.
+        let mut db = UncertainDatabase::new(schema());
+        db.insert_values("R", ["a", "b"]).unwrap();
+        db.insert_values("S", ["b", "a"]).unwrap();
+        db.insert_values("S", ["b", "c"]).unwrap();
+        let q = example1_query();
+        let purified = purify(&db, &q);
+        assert!(purified.is_empty());
+        assert!(is_purified(&purified, &q));
+    }
+
+    #[test]
+    fn purification_keeps_relevant_facts() {
+        let mut db = UncertainDatabase::new(schema());
+        db.insert_values("R", ["a", "b"]).unwrap();
+        db.insert_values("S", ["b", "a"]).unwrap();
+        // An unrelated, irrelevant R block.
+        db.insert_values("R", ["z", "z"]).unwrap();
+        let q = example1_query();
+        let purified = purify(&db, &q);
+        assert_eq!(purified.fact_count(), 2);
+        assert!(is_purified(&purified, &q));
+        // The relevant pair survived.
+        let r = purified.schema().relation_id("R").unwrap();
+        assert!(purified.contains(&Fact::new(
+            r,
+            vec![cqa_data::Value::str("a"), cqa_data::Value::str("b")]
+        )));
+    }
+
+    #[test]
+    fn purified_database_is_a_fixpoint() {
+        let mut db = UncertainDatabase::new(schema());
+        db.insert_values("R", ["a", "b"]).unwrap();
+        db.insert_values("R", ["a", "c"]).unwrap();
+        db.insert_values("S", ["b", "a"]).unwrap();
+        db.insert_values("S", ["c", "a"]).unwrap();
+        let q = example1_query();
+        let once = purify(&db, &q);
+        assert_eq!(once, db, "already purified databases are unchanged");
+        let twice = purify(&once, &q);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn purification_preserves_certainty_brute_force() {
+        // Cross-check Lemma 1 on a small instance by enumerating repairs.
+        let mut db = UncertainDatabase::new(schema());
+        db.insert_values("R", ["a", "b"]).unwrap();
+        db.insert_values("R", ["a", "c"]).unwrap(); // same block as R(a,b)
+        db.insert_values("S", ["b", "a"]).unwrap();
+        db.insert_values("S", ["d", "d"]).unwrap(); // irrelevant singleton block
+        let q = example1_query();
+        let purified = purify(&db, &q);
+
+        let certain = |d: &UncertainDatabase| d.repairs().all(|r| eval::satisfies(&r, &q));
+        assert_eq!(certain(&db), certain(&purified));
+    }
+
+    #[test]
+    fn ground_atoms_and_constants_in_queries() {
+        // Purification must respect constants in the query: only facts that
+        // can actually be the image of an atom survive.
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap().into_shared();
+        let mut db = UncertainDatabase::new(schema.clone());
+        db.insert_values("R", ["a", "hit"]).unwrap();
+        db.insert_values("R", ["b", "miss"]).unwrap();
+        let q = ConjunctiveQuery::builder(schema)
+            .atom("R", [Term::var("x"), Term::constant("hit")])
+            .build()
+            .unwrap();
+        let purified = purify(&db, &q);
+        assert_eq!(purified.fact_count(), 1);
+    }
+}

@@ -1,0 +1,488 @@
+//! Conjunctive queries.
+
+use crate::{Atom, AtomId, QueryError, Term, VarIndex, Variable};
+use cqa_data::{RelationId, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A conjunctive query `∃ū (R1(x̄1, ȳ1) ∧ ... ∧ Rn(x̄n, ȳn))`, possibly with
+/// free variables.
+///
+/// The paper works with **Boolean** queries (no free variables) without
+/// self-joins; both properties are exposed as predicates and checked by the
+/// analyses that require them, but the type itself is more general so that
+/// the library can also answer non-Boolean queries (certain answers) and
+/// represent intermediate rewritings.
+///
+/// Queries are *sets* of atoms (duplicate atoms are collapsed); atoms are
+/// addressed by their [`AtomId`], i.e. their index in [`Self::atoms`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    schema: Arc<Schema>,
+    atoms: Vec<Atom>,
+    free_vars: Vec<Variable>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a Boolean conjunctive query.
+    pub fn boolean(
+        schema: Arc<Schema>,
+        atoms: impl Into<Vec<Atom>>,
+    ) -> Result<Self, QueryError> {
+        Self::with_free_vars(schema, atoms, Vec::new())
+    }
+
+    /// Creates a conjunctive query with the given free variables.
+    pub fn with_free_vars(
+        schema: Arc<Schema>,
+        atoms: impl Into<Vec<Atom>>,
+        free_vars: Vec<Variable>,
+    ) -> Result<Self, QueryError> {
+        let mut atoms: Vec<Atom> = atoms.into();
+        // Validate arities.
+        for atom in &atoms {
+            let rel = schema.relation(atom.relation());
+            if atom.arity() != rel.arity() {
+                return Err(QueryError::ArityMismatch {
+                    relation: rel.name.clone(),
+                    expected: rel.arity(),
+                    actual: atom.arity(),
+                });
+            }
+        }
+        // Set semantics: drop duplicate atoms, keeping first occurrences.
+        let mut seen: Vec<Atom> = Vec::with_capacity(atoms.len());
+        atoms.retain(|a| {
+            if seen.contains(a) {
+                false
+            } else {
+                seen.push(a.clone());
+                true
+            }
+        });
+        let q = ConjunctiveQuery {
+            schema,
+            atoms,
+            free_vars,
+        };
+        // Free variables must occur in some atom.
+        for v in &q.free_vars {
+            if !q.atoms.iter().any(|a| a.contains_var(v)) {
+                return Err(QueryError::UnboundFreeVariable {
+                    name: v.name().to_owned(),
+                });
+            }
+        }
+        // Ensure the variable count is representable (fails early and loudly).
+        q.var_index()?;
+        Ok(q)
+    }
+
+    /// Starts a [`QueryBuilder`] over the given schema.
+    pub fn builder(schema: Arc<Schema>) -> QueryBuilder {
+        QueryBuilder {
+            schema,
+            atoms: Vec::new(),
+            free_vars: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The atoms of the query.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The atom with the given id.
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.atoms[id]
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True iff the query has no atoms (the empty query is satisfied by every
+    /// database, including the empty one).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over `(AtomId, &Atom)` pairs.
+    pub fn atoms_with_ids(&self) -> impl Iterator<Item = (AtomId, &Atom)> {
+        self.atoms.iter().enumerate()
+    }
+
+    /// All atom ids.
+    pub fn atom_ids(&self) -> impl Iterator<Item = AtomId> {
+        0..self.atoms.len()
+    }
+
+    /// The free variables (empty for Boolean queries).
+    pub fn free_vars(&self) -> &[Variable] {
+        &self.free_vars
+    }
+
+    /// True iff the query is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.free_vars.is_empty()
+    }
+
+    /// `vars(q)`: all variables occurring in the query.
+    pub fn vars(&self) -> BTreeSet<Variable> {
+        self.atoms.iter().flat_map(Atom::vars).collect()
+    }
+
+    /// The ids of the atoms in which `var` occurs.
+    pub fn atoms_containing(&self, var: &Variable) -> Vec<AtomId> {
+        self.atoms_with_ids()
+            .filter(|(_, a)| a.contains_var(var))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `key(F)` for the atom with id `id`.
+    pub fn key_vars(&self, id: AtomId) -> BTreeSet<Variable> {
+        self.atoms[id].key_vars(&self.schema)
+    }
+
+    /// `vars(F)` for the atom with id `id`.
+    pub fn vars_of(&self, id: AtomId) -> BTreeSet<Variable> {
+        self.atoms[id].vars()
+    }
+
+    /// True iff some relation name occurs in more than one atom.
+    pub fn has_self_join(&self) -> bool {
+        self.self_joined_relation().is_some()
+    }
+
+    /// The first relation that occurs in more than one atom, if any.
+    pub fn self_joined_relation(&self) -> Option<RelationId> {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if self.atoms[i + 1..].iter().any(|b| b.relation() == a.relation()) {
+                return Some(a.relation());
+            }
+        }
+        None
+    }
+
+    /// Fails with [`QueryError::SelfJoin`] if the query has a self-join.
+    pub fn require_self_join_free(&self) -> Result<(), QueryError> {
+        match self.self_joined_relation() {
+            None => Ok(()),
+            Some(rel) => Err(QueryError::SelfJoin {
+                relation: self.schema.relation(rel).name.clone(),
+            }),
+        }
+    }
+
+    /// Fails with [`QueryError::NotBoolean`] if the query has free variables.
+    pub fn require_boolean(&self) -> Result<(), QueryError> {
+        if self.is_boolean() {
+            Ok(())
+        } else {
+            Err(QueryError::NotBoolean)
+        }
+    }
+
+    /// A [`VarIndex`] over the variables of this query, in a deterministic
+    /// (first-occurrence) order.
+    pub fn var_index(&self) -> Result<VarIndex, QueryError> {
+        VarIndex::new(
+            self.atoms
+                .iter()
+                .flat_map(|a| a.terms().iter())
+                .filter_map(Term::as_var)
+                .cloned(),
+        )
+    }
+
+    /// The query `q \ {F}` where `F` is the atom with id `id`.
+    ///
+    /// Free variables that no longer occur in any atom are dropped.
+    pub fn without_atom(&self, id: AtomId) -> ConjunctiveQuery {
+        let atoms: Vec<Atom> = self
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != id)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let free_vars: Vec<Variable> = self
+            .free_vars
+            .iter()
+            .filter(|v| atoms.iter().any(|a| a.contains_var(v)))
+            .cloned()
+            .collect();
+        ConjunctiveQuery {
+            schema: self.schema.clone(),
+            atoms,
+            free_vars,
+        }
+    }
+
+    /// The sub-query consisting of the atoms with the given ids (in id order).
+    pub fn restricted_to(&self, ids: &[AtomId]) -> ConjunctiveQuery {
+        let mut ids: Vec<AtomId> = ids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let atoms: Vec<Atom> = ids.iter().map(|&i| self.atoms[i].clone()).collect();
+        let free_vars: Vec<Variable> = self
+            .free_vars
+            .iter()
+            .filter(|v| atoms.iter().any(|a| a.contains_var(v)))
+            .cloned()
+            .collect();
+        ConjunctiveQuery {
+            schema: self.schema.clone(),
+            atoms,
+            free_vars,
+        }
+    }
+
+    /// Replaces the atom set wholesale (used by substitution); the schema and
+    /// free variables are preserved where still meaningful.
+    pub(crate) fn with_atoms(&self, atoms: Vec<Atom>, free_vars: Vec<Variable>) -> Self {
+        ConjunctiveQuery {
+            schema: self.schema.clone(),
+            atoms,
+            free_vars,
+        }
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.free_vars.is_empty() {
+            write!(f, "q()")?;
+        } else {
+            write!(f, "q(")?;
+            for (i, v) in self.free_vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, " :- ")?;
+        if self.atoms.is_empty() {
+            write!(f, "true")?;
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.display(&self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A fluent builder for conjunctive queries.
+///
+/// ```
+/// use cqa_data::Schema;
+/// use cqa_query::{ConjunctiveQuery, Term};
+///
+/// let schema = Schema::from_relations([("R", 2, 1), ("S", 2, 1)]).unwrap().into_shared();
+/// let q = ConjunctiveQuery::builder(schema)
+///     .atom("R", [Term::var("x"), Term::var("y")])
+///     .atom("S", [Term::var("y"), Term::constant("Rome")])
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.len(), 2);
+/// assert!(q.is_boolean());
+/// ```
+pub struct QueryBuilder {
+    schema: Arc<Schema>,
+    atoms: Vec<Atom>,
+    free_vars: Vec<Variable>,
+    error: Option<QueryError>,
+}
+
+impl QueryBuilder {
+    /// Adds an atom by relation name.
+    pub fn atom(mut self, relation: &str, terms: impl Into<Vec<Term>>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.relation_id(relation) {
+            Some(rel) => self.atoms.push(Atom::new(rel, terms)),
+            None => {
+                self.error = Some(QueryError::UnknownRelation {
+                    name: relation.to_owned(),
+                })
+            }
+        }
+        self
+    }
+
+    /// Declares free variables (answer variables) for a non-Boolean query.
+    pub fn free(mut self, vars: impl IntoIterator<Item = Variable>) -> Self {
+        self.free_vars.extend(vars);
+        self
+    }
+
+    /// Finishes the query.
+    pub fn build(self) -> Result<ConjunctiveQuery, QueryError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        ConjunctiveQuery::with_free_vars(self.schema, self.atoms, self.free_vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_relations([("R", 2, 1), ("S", 3, 2), ("T", 2, 1)])
+            .unwrap()
+            .into_shared()
+    }
+
+    fn var(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let q = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .atom("S", [var("y"), var("z"), var("x")])
+            .build()
+            .unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(q.is_boolean());
+        assert!(!q.has_self_join());
+        assert_eq!(q.vars().len(), 3);
+        assert!(ConjunctiveQuery::builder(schema())
+            .atom("Nope", [var("x")])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let s = schema();
+        let bad = Atom::new(s.relation_id("R").unwrap(), vec![var("x")]);
+        assert!(matches!(
+            ConjunctiveQuery::boolean(s, vec![bad]),
+            Err(QueryError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let q = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .atom("R", [var("y"), var("x")])
+            .build()
+            .unwrap();
+        assert!(q.has_self_join());
+        assert!(q.require_self_join_free().is_err());
+        let q2 = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .atom("T", [var("y"), var("x")])
+            .build()
+            .unwrap();
+        assert!(!q2.has_self_join());
+        assert!(q2.require_self_join_free().is_ok());
+    }
+
+    #[test]
+    fn duplicate_atoms_are_collapsed() {
+        let q = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .atom("R", [var("x"), var("y")])
+            .build()
+            .unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(!q.has_self_join());
+    }
+
+    #[test]
+    fn free_variables_must_be_bound() {
+        let err = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .free([Variable::new("z")])
+            .build();
+        assert!(matches!(err, Err(QueryError::UnboundFreeVariable { .. })));
+        let ok = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .free([Variable::new("y")])
+            .build()
+            .unwrap();
+        assert!(!ok.is_boolean());
+        assert!(ok.require_boolean().is_err());
+    }
+
+    #[test]
+    fn without_atom_and_restriction() {
+        let q = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .atom("S", [var("y"), var("z"), var("x")])
+            .atom("T", [var("z"), var("w")])
+            .build()
+            .unwrap();
+        let q2 = q.without_atom(1);
+        assert_eq!(q2.len(), 2);
+        assert_eq!(q2.atom(0), q.atom(0));
+        assert_eq!(q2.atom(1), q.atom(2));
+        let q3 = q.restricted_to(&[2, 0, 2]);
+        assert_eq!(q3.len(), 2);
+        assert_eq!(q3.atom(0), q.atom(0));
+        assert_eq!(q3.atom(1), q.atom(2));
+    }
+
+    #[test]
+    fn atoms_containing_and_key_vars() {
+        let q = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .atom("S", [var("y"), var("z"), var("x")])
+            .build()
+            .unwrap();
+        assert_eq!(q.atoms_containing(&Variable::new("x")), vec![0, 1]);
+        assert_eq!(q.atoms_containing(&Variable::new("z")), vec![1]);
+        assert_eq!(
+            q.key_vars(1),
+            [Variable::new("y"), Variable::new("z")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn display_is_datalog_like() {
+        let q = ConjunctiveQuery::builder(schema())
+            .atom("R", [var("x"), var("y")])
+            .atom("S", [var("y"), var("z"), Term::constant("Rome")])
+            .build()
+            .unwrap();
+        assert_eq!(q.to_string(), "q() :- R(x; y), S(y, z; 'Rome')");
+        let empty = ConjunctiveQuery::boolean(schema(), Vec::new()).unwrap();
+        assert_eq!(empty.to_string(), "q() :- true");
+    }
+
+    #[test]
+    fn empty_query_is_boolean_and_empty() {
+        let q = ConjunctiveQuery::boolean(schema(), Vec::new()).unwrap();
+        assert!(q.is_empty());
+        assert!(q.is_boolean());
+        assert!(q.vars().is_empty());
+        assert_eq!(q.var_index().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Section 7 in action: BID probabilistic databases, `IsSafe`, safe-plan
+//! evaluation, and the Proposition 1 bridge back to certainty.
+//!
+//! Run with `cargo run --example probabilistic_conferences`.
+
+use cqa::prob::bridge::probability_is_one;
+use cqa::prob::eval::{probability_exact, probability_monte_carlo, probability_safe};
+use cqa::prob::{is_safe, BidDatabase};
+use cqa::query::catalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let query = catalog::conference().query;
+    let db = catalog::conference_database();
+
+    // Uniform-repair view: every block's facts are equally likely.
+    let uniform = BidDatabase::uniform_over_repairs(&db);
+    println!("query: {query}");
+    println!("IsSafe(q) = {}", is_safe(&query));
+    println!(
+        "Pr(q) exhaustive     = {:.4}",
+        probability_exact(&uniform, &query)
+    );
+    println!(
+        "Pr(q) safe plan      = {:.4}",
+        probability_safe(&uniform, &query).unwrap()
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    println!(
+        "Pr(q) Monte Carlo    = {:.4}  (10k samples)",
+        probability_monte_carlo(&uniform, &query, 10_000, &mut rng)
+    );
+    println!(
+        "Pr(q) = 1?           = {}  (Proposition 1, via certainty)",
+        probability_is_one(&uniform, &query).unwrap()
+    );
+
+    // Now use asymmetric probabilities: the chair is 90% sure PODS 2016 is in
+    // Rome, and 60% sure KDD is rank A (with 40% rank B).
+    let c = db.schema().relation_id("C").unwrap();
+    let r = db.schema().relation_id("R").unwrap();
+    let fact = |rel, values: &[&str]| {
+        cqa_data::Fact::new(rel, values.iter().map(|v| cqa_data::Value::str(v)).collect::<Vec<_>>())
+    };
+    let weighted = BidDatabase::new(
+        db.clone(),
+        [
+            (fact(c, &["PODS", "2016", "Rome"]), 0.9),
+            (fact(c, &["PODS", "2016", "Paris"]), 0.1),
+            (fact(r, &["KDD", "A"]), 0.6),
+            (fact(r, &["KDD", "B"]), 0.4),
+        ],
+    )
+    .unwrap();
+    println!("\nwith asymmetric probabilities (90% Rome, 60% KDD rank A):");
+    let exact = probability_exact(&weighted, &query);
+    let safe = probability_safe(&weighted, &query).unwrap();
+    println!("Pr(q) exhaustive     = {exact:.4}");
+    println!("Pr(q) safe plan      = {safe:.4}");
+    println!(
+        "Pr(q) = 1?           = {}  (some block is still uncertain)",
+        probability_is_one(&weighted, &query).unwrap()
+    );
+
+    // An unsafe query: the safe plan refuses, the exhaustive evaluator and the
+    // sampler still work (Theorem 5 says no polynomial exact algorithm exists
+    // unless FP = ♯P).
+    let unsafe_query = catalog::fo_path2().query;
+    println!("\nunsafe query {unsafe_query}: IsSafe = {}", is_safe(&unsafe_query));
+    let mut small = cqa_data::UncertainDatabase::new(unsafe_query.schema().clone());
+    for (rel, a, b) in [("R", "a", "b"), ("R", "a", "b2"), ("S", "b", "t"), ("S", "b2", "t")] {
+        small.insert_values(rel, [a, b]).unwrap();
+    }
+    let bid = BidDatabase::uniform_over_repairs(&small);
+    println!(
+        "safe plan refuses:   {}",
+        probability_safe(&bid, &unsafe_query).is_err()
+    );
+    println!(
+        "exhaustive Pr(q)     = {:.4}",
+        probability_exact(&bid, &unsafe_query)
+    );
+}

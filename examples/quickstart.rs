@@ -1,0 +1,75 @@
+//! Quickstart: the Figure 1 conference-planning example from the paper.
+//!
+//! Builds the uncertain database of Figure 1, asks whether the query
+//! "will Rome host some A conference?" is *certainly* true (true in every
+//! repair), classifies the query, and reports the probability of the query
+//! under the uniform-repair distribution.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cqa::core::classify::classify;
+use cqa::core::solvers::{CertaintyEngine, CertaintySolver};
+use cqa::prob::eval::probability_over_repairs;
+use cqa::query::{ConjunctiveQuery, Term};
+use cqa_data::{Schema, UncertainDatabase};
+
+fn main() {
+    // Schema: C(conf, year, city) with key {conf, year}; R(conf, rank) with key {conf}.
+    let schema = Schema::from_relations([("C", 3, 2), ("R", 2, 1)])
+        .expect("valid schema")
+        .into_shared();
+
+    // The uncertain database of Figure 1: PODS 2016 has two possible cities,
+    // KDD has two possible ranks.
+    let mut db = UncertainDatabase::new(schema.clone());
+    for (conf, year, city) in [
+        ("PODS", "2016", "Rome"),
+        ("PODS", "2016", "Paris"),
+        ("KDD", "2017", "Rome"),
+    ] {
+        db.insert_values("C", [conf, year, city]).unwrap();
+    }
+    for (conf, rank) in [("PODS", "A"), ("KDD", "A"), ("KDD", "B")] {
+        db.insert_values("R", [conf, rank]).unwrap();
+    }
+    println!("uncertain database ({} facts, {} blocks, {} repairs):",
+        db.fact_count(), db.block_count(), db.repair_count().unwrap());
+    print!("{db}");
+
+    // The Boolean query ∃x∃y (C(x, y, 'Rome') ∧ R(x, 'A')).
+    let query = ConjunctiveQuery::builder(schema)
+        .atom("C", [Term::var("x"), Term::var("y"), Term::constant("Rome")])
+        .atom("R", [Term::var("x"), Term::constant("A")])
+        .build()
+        .unwrap();
+    println!("\nquery: {query}");
+
+    // Where does CERTAINTY(q) sit on the tractability frontier?
+    let classification = classify(&query).unwrap();
+    println!("classification: {}", classification.class);
+
+    // Decide certainty with the automatically selected solver.
+    let engine = CertaintyEngine::new(&query).unwrap();
+    println!(
+        "certain on every repair? {}   (solver: {})",
+        engine.is_certain(&db),
+        engine.solver_name()
+    );
+
+    // The paper's introduction: the query is true in 3 of the 4 repairs.
+    println!(
+        "probability under uniform repairs: {}",
+        probability_over_repairs(&db, &query)
+    );
+
+    // Resolve the uncertainty about PODS 2016 and ask again.
+    let mut fixed = db.clone();
+    fixed.remove_fact(&cqa_data::Fact::new(
+        fixed.schema().relation_id("C").unwrap(),
+        vec!["PODS".into(), "2016".into(), "Paris".into()],
+    ));
+    println!(
+        "after dropping C(PODS, 2016, Paris): certain? {}",
+        engine.is_certain(&fixed)
+    );
+}

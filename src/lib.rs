@@ -1,0 +1,40 @@
+//! # cqa — certain conjunctive query answering over uncertain databases
+//!
+//! Facade crate for the `certainty-rs` workspace, a Rust implementation of
+//!
+//! > Jef Wijsen. *Charting the Tractability Frontier of Certain Conjunctive
+//! > Query Answering*. PODS 2013.
+//!
+//! This crate simply re-exports the public API of the workspace crates so a
+//! downstream user can depend on a single crate:
+//!
+//! * [`data`] — uncertain databases, blocks, repairs;
+//! * [`query`] — Boolean conjunctive queries, join trees, purification;
+//! * [`graph`] — the directed-graph algorithms used by the solvers;
+//! * [`core`] — attack graphs, complexity classification, certain-answer
+//!   solvers, certain first-order rewriting, reductions;
+//! * [`prob`] — block-independent-disjoint probabilistic databases, `IsSafe`,
+//!   safe-plan evaluation;
+//! * [`gen`] — seeded workload and instance generators;
+//! * [`parser`] — a small text format plus DOT export.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+pub use cqa_core as core;
+pub use cqa_data as data;
+pub use cqa_gen as gen;
+pub use cqa_graph as graph;
+pub use cqa_parser as parser;
+pub use cqa_prob as prob;
+pub use cqa_query as query;
+
+/// Commonly used items, importable with `use cqa::prelude::*;`.
+pub mod prelude {
+    pub use cqa_core::{
+        answers::certain_answers, classify::{classify, ComplexityClass}, solvers::CertaintyEngine,
+        AttackGraph,
+    };
+    pub use cqa_data::{Fact, Schema, UncertainDatabase, Value};
+    pub use cqa_query::{Atom, ConjunctiveQuery, Term, Variable};
+}

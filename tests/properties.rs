@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) for the paper's structural lemmas and for
+//! solver agreement on randomly generated queries and databases.
+
+use cqa::core::attack::{AttackGraph, CycleAnalysis};
+use cqa::core::classify::{classify, ComplexityClass};
+use cqa::core::solvers::{CertaintyEngine, CertaintySolver, ExactOracle};
+use cqa::gen::{random_acyclic_query, GeneratorConfig, UncertainDbGenerator};
+use cqa::prob::eval::{probability_exact, probability_over_repairs};
+use cqa::prob::{is_safe, BidDatabase};
+use cqa::query::{catalog, eval, gyo, join_tree, purify};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two acyclicity tests (max-spanning-tree join tree and GYO) agree
+    /// on randomly generated acyclic queries.
+    #[test]
+    fn join_tree_and_gyo_agree(seed in 0u64..5_000, atoms in 1usize..7, arity in 1usize..5) {
+        let q = random_acyclic_query(seed, atoms, arity);
+        prop_assert!(join_tree::is_acyclic(&q));
+        prop_assert!(gyo::is_acyclic_gyo(&q));
+    }
+
+    /// Structural facts about attack graphs on random acyclic queries:
+    /// key(F) ⊆ F⁺ ⊆ F⊞ (Definition 2/5), Lemma 2, Lemma 3, Lemma 4.
+    #[test]
+    fn attack_graph_lemmas(seed in 0u64..5_000, atoms in 1usize..7) {
+        let q = random_acyclic_query(seed, atoms, 4);
+        let graph = AttackGraph::build(&q).unwrap();
+        let closures = graph.closures();
+        let n = q.len();
+        for f in 0..n {
+            prop_assert!(closures.key_set(f).is_subset_of(&closures.plus(f)));
+            prop_assert!(closures.plus(f).is_subset_of(&closures.boxed(f)));
+        }
+        // Lemma 2: F ⇝ G implies key(G) ⊄ F⁺ and vars(F) ⊄ F⁺.
+        for edge in graph.edges() {
+            prop_assert!(!closures.key_set(edge.to).is_subset_of(&closures.plus(edge.from)));
+            prop_assert!(!closures.var_set(edge.from).is_subset_of(&closures.plus(edge.from)));
+        }
+        // Lemma 3: F ⇝ G and G ⇝ H (distinct) implies F ⇝ H or G ⇝ F.
+        for f in 0..n {
+            for g in 0..n {
+                for h in 0..n {
+                    if f != g && g != h && f != h && graph.attacks(f, g) && graph.attacks(g, h) {
+                        prop_assert!(
+                            graph.attacks(f, h) || graph.attacks(g, f),
+                            "Lemma 3 violated on {q} ({f},{g},{h})"
+                        );
+                    }
+                }
+            }
+        }
+        // Lemma 4: a strong cycle implies a strong 2-cycle.
+        let analysis = CycleAnalysis::analyze(&graph);
+        if analysis.has_strong_cycle() {
+            prop_assert!(analysis.strong_two_cycle(&graph).is_some());
+        }
+        // Lemma 6: if all cycles are terminal, all cycles have length 2.
+        if analysis.has_cycle() && analysis.all_cycles_terminal() {
+            prop_assert!(analysis.cycles().iter().all(|c| c.len() == 2));
+        }
+    }
+
+    /// Theorem 6 (safe ⇒ FO-expressible) on random acyclic queries.
+    #[test]
+    fn theorem6_on_random_queries(seed in 0u64..5_000, atoms in 1usize..6) {
+        let q = random_acyclic_query(seed, atoms, 4);
+        if is_safe(&q) {
+            let class = classify(&q).unwrap().class;
+            prop_assert_eq!(class, ComplexityClass::FirstOrderExpressible);
+        }
+    }
+
+    /// Purification (Lemma 1) never changes membership in CERTAINTY(q), and
+    /// the purified database is a subset supporting every remaining fact.
+    #[test]
+    fn purification_preserves_certainty(seed in 0u64..2_000) {
+        let q = catalog::conference().query;
+        let db = UncertainDbGenerator::new(&q, GeneratorConfig {
+            seed,
+            matches: 3,
+            domain_per_variable: 3,
+            extra_block_facts: 1,
+            alternative_join_probability: 0.4,
+        }).generate();
+        prop_assume!(db.repair_count_log2() <= 14.0);
+        let purified = purify::purify(&db, &q);
+        prop_assert!(purified.is_subset_of(&db));
+        prop_assert!(purify::is_purified(&purified, &q));
+        let certain = |d: &cqa_data::UncertainDatabase| d.repairs().all(|r| eval::satisfies(&r, &q));
+        prop_assert_eq!(certain(&db), certain(&purified));
+    }
+
+    /// The dispatching engine agrees with brute force on random instances of
+    /// the three tractable-region catalog queries.
+    #[test]
+    fn engine_matches_brute_force(seed in 0u64..1_500, which in 0usize..3) {
+        let entry = match which {
+            0 => catalog::fo_path2(),
+            1 => catalog::c2_swap(),
+            _ => catalog::ac_k(2),
+        };
+        let q = entry.query;
+        let db = UncertainDbGenerator::new(&q, GeneratorConfig {
+            seed,
+            matches: 3,
+            domain_per_variable: 2,
+            extra_block_facts: 1,
+            alternative_join_probability: 0.7,
+        }).generate();
+        prop_assume!(db.repair_count_log2() <= 14.0);
+        let engine = CertaintyEngine::new(&q).unwrap();
+        let oracle = ExactOracle::new(&q).unwrap();
+        prop_assert_eq!(engine.is_certain(&db), oracle.is_certain_bruteforce(&db));
+    }
+
+    /// The uniform-repair probability equals the exhaustive BID probability
+    /// with uniform per-block weights, and certainty holds iff it equals 1.
+    #[test]
+    fn uniform_probability_consistency(seed in 0u64..1_000) {
+        let q = catalog::conference().query;
+        let db = UncertainDbGenerator::new(&q, GeneratorConfig {
+            seed,
+            matches: 2,
+            domain_per_variable: 3,
+            extra_block_facts: 1,
+            alternative_join_probability: 0.5,
+        }).generate();
+        prop_assume!(db.repair_count_log2() <= 12.0);
+        let over_repairs = probability_over_repairs(&db, &q);
+        let bid = BidDatabase::uniform_over_repairs(&db);
+        let exact = probability_exact(&bid, &q);
+        prop_assert!((over_repairs - exact).abs() < 1e-9);
+        let engine = CertaintyEngine::new(&q).unwrap();
+        prop_assert_eq!(engine.is_certain(&db), (exact - 1.0).abs() < 1e-9);
+    }
+
+    /// Repair enumeration: the number of enumerated repairs equals the product
+    /// of the block sizes, and every repair is a maximal consistent subset.
+    #[test]
+    fn repair_enumeration_invariants(seed in 0u64..1_000) {
+        let q = catalog::fo_path2().query;
+        let db = UncertainDbGenerator::new(&q, GeneratorConfig {
+            seed,
+            matches: 2,
+            domain_per_variable: 2,
+            extra_block_facts: 1,
+            alternative_join_probability: 0.5,
+        }).generate();
+        prop_assume!(db.repair_count_log2() <= 10.0);
+        let expected = db.repair_count().unwrap();
+        let mut count = 0u128;
+        for repair in db.repairs() {
+            count += 1;
+            prop_assert!(repair.is_consistent());
+            prop_assert!(repair.is_subset_of(&db));
+            prop_assert_eq!(repair.block_count(), db.block_count());
+        }
+        prop_assert_eq!(count, expected);
+    }
+}
