@@ -15,9 +15,32 @@ use cqa_core::solvers::{
 use cqa_gen::q0_instance;
 use cqa_prob::eval::{probability_exact, probability_safe};
 use cqa_prob::BidDatabase;
+use cqa_query::eval::{self, naive};
 use cqa_query::{catalog, purify};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+
+/// The join engine itself: the naive nested-loop reference evaluator against
+/// the hash-indexed bind-aware join, on generator workloads of a 3-atom
+/// chain query. (`bench_eval` runs the same comparison at larger scale and
+/// records `BENCH_eval.json`.)
+fn bench_eval_join(c: &mut Criterion) {
+    let q = catalog::fo_path3().query;
+    let mut group = c.benchmark_group("eval_naive_vs_indexed");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [32usize, 128, 512] {
+        let db = scaled_instance(&q, n, 11);
+        group.bench_with_input(BenchmarkId::new("naive", n), &db, |b, db| {
+            b.iter(|| naive::all_valuations(db, &q).len())
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &db, |b, db| {
+            b.iter(|| eval::all_valuations(db, &q).len())
+        });
+    }
+    group.finish();
+}
 
 /// E8 / Theorem 1 region: the rewriting-based solver on acyclic-attack-graph
 /// queries, against the exact oracle on the sizes the oracle can still handle.
@@ -167,6 +190,7 @@ fn bench_purification(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_eval_join,
     bench_rewriting,
     bench_terminal_cycles,
     bench_cycle_query,

@@ -35,13 +35,20 @@ fn header(id: &str, title: &str) {
 fn check(label: &str, expected: impl std::fmt::Display, measured: impl std::fmt::Display) {
     let expected = expected.to_string();
     let measured = measured.to_string();
-    let status = if expected == measured { "ok " } else { "MISMATCH" };
+    let status = if expected == measured {
+        "ok "
+    } else {
+        "MISMATCH"
+    };
     println!("  [{status}] {label:<58} paper: {expected:<18} measured: {measured}");
 }
 
 /// E1 — Figure 1 and the Section 1 example.
 fn e1() {
-    header("E1", "Figure 1: conference planning database, 4 repairs, query true in 3");
+    header(
+        "E1",
+        "Figure 1: conference planning database, 4 repairs, query true in 3",
+    );
     let q = catalog::conference().query;
     let db = catalog::conference_database();
     check("number of facts", 6, db.fact_count());
@@ -49,7 +56,11 @@ fn e1() {
     check("number of repairs", 4, db.repair_count().unwrap());
     let count = count_satisfying_repairs(&db, &q);
     check("repairs satisfying the query", 3, count.satisfying);
-    check("CERTAINTY(q) on Figure 1", false, CertaintyEngine::new(&q).unwrap().is_certain(&db));
+    check(
+        "CERTAINTY(q) on Figure 1",
+        false,
+        CertaintyEngine::new(&q).unwrap().is_certain(&db),
+    );
     check(
         "Pr(q) under uniform repairs",
         0.75,
@@ -59,7 +70,10 @@ fn e1() {
 
 /// E2 — Figure 2 and Examples 2–4: q1's join tree, closures and attack graph.
 fn e2() {
-    header("E2", "Figure 2 / Examples 2-4: attack graph of q1, closures, weak/strong attacks");
+    header(
+        "E2",
+        "Figure 2 / Examples 2-4: attack graph of q1, closures, weak/strong attacks",
+    );
     let q = catalog::q1().query;
     let graph = AttackGraph::build(&q).unwrap();
     let closures = graph.closures();
@@ -69,8 +83,16 @@ fn e2() {
     let plus_expect = ["u", "y", "x z", "x y z"];
     let boxed_expect = ["u x y z", "x y z", "x y z", "x y z"];
     for atom in 0..4 {
-        let plus: Vec<String> = closures.plus_vars(atom).iter().map(|v| v.to_string()).collect();
-        let boxed: Vec<String> = closures.boxed_vars(atom).iter().map(|v| v.to_string()).collect();
+        let plus: Vec<String> = closures
+            .plus_vars(atom)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let boxed: Vec<String> = closures
+            .boxed_vars(atom)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         check(
             &format!("{}^+  ({})", names[atom], "Definition 2"),
             plus_expect[atom],
@@ -82,8 +104,22 @@ fn e2() {
             boxed.join(" "),
         );
     }
-    check("attack F -> G exists and is weak", "weak", format!("{}", graph.strength(0, 1).map(|s| s.to_string()).unwrap_or_else(|| "absent".into())));
-    check("attack G -> F exists and is strong", "strong", format!("{}", graph.strength(1, 0).map(|s| s.to_string()).unwrap_or_else(|| "absent".into())));
+    check(
+        "attack F -> G exists and is weak",
+        "weak",
+        graph
+            .strength(0, 1)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "absent".into()),
+    );
+    check(
+        "attack G -> F exists and is strong",
+        "strong",
+        graph
+            .strength(1, 0)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "absent".into()),
+    );
     let strong_count = graph
         .edges()
         .iter()
@@ -91,14 +127,25 @@ fn e2() {
         .count();
     check("number of strong attacks in q1", 1, strong_count);
     let analysis = CycleAnalysis::analyze(&graph);
-    check("attack graph of q1 has a strong cycle", true, analysis.has_strong_cycle());
-    check("classification of q1 (Theorem 2)", "coNP-complete", classify(&q).unwrap().class);
+    check(
+        "attack graph of q1 has a strong cycle",
+        true,
+        analysis.has_strong_cycle(),
+    );
+    check(
+        "classification of q1 (Theorem 2)",
+        "coNP-complete",
+        classify(&q).unwrap().class,
+    );
     println!("\n  attack graph edges:\n{}", indent(&graph.render()));
 }
 
 /// E3 — Figure 4 / Example 5.
 fn e3() {
-    header("E3", "Figure 4 / Example 5: all attack cycles weak and terminal => in P (Theorem 3)");
+    header(
+        "E3",
+        "Figure 4 / Example 5: all attack cycles weak and terminal => in P (Theorem 3)",
+    );
     let q = catalog::fig4().query;
     let graph = AttackGraph::build(&q).unwrap();
     let analysis = CycleAnalysis::analyze(&graph);
@@ -119,7 +166,10 @@ fn e3() {
 
 /// E4 — Figure 5 / Example 6.
 fn e4() {
-    header("E4", "Figure 5 / Example 6: AC(3) has only weak, non-terminal cycles");
+    header(
+        "E4",
+        "Figure 5 / Example 6: AC(3) has only weak, non-terminal cycles",
+    );
     let q = catalog::ac_k(3).query;
     let graph = AttackGraph::build(&q).unwrap();
     let analysis = CycleAnalysis::analyze(&graph);
@@ -128,7 +178,11 @@ fn e4() {
     });
     check("S3 attacks nothing", true, graph.attacked_by(3).is_empty());
     check("all cycles weak", true, analysis.all_cycles_weak());
-    check("no cycle terminal", true, analysis.cycles().iter().all(|c| !c.terminal));
+    check(
+        "no cycle terminal",
+        true,
+        analysis.cycles().iter().all(|c| !c.terminal),
+    );
     check(
         "classification (Theorem 4)",
         "in P (AC(3), Theorem 4), not FO",
@@ -138,25 +192,43 @@ fn e4() {
 
 /// E5 — Figures 6 and 7: the worked AC(3) instance.
 fn e5() {
-    header("E5", "Figures 6/7: the AC(3) instance admits falsifying repairs");
+    header(
+        "E5",
+        "Figures 6/7: the AC(3) instance admits falsifying repairs",
+    );
     let q = catalog::ac_k(3).query;
     let db = figure6_database();
     check("facts in the Figure 6 instance", 12, db.fact_count());
-    check("repairs of the Figure 6 instance", 8, db.repair_count().unwrap());
+    check(
+        "repairs of the Figure 6 instance",
+        8,
+        db.repair_count().unwrap(),
+    );
     let solver = CycleQuerySolver::new(&q).unwrap();
     let oracle = ExactOracle::new(&q).unwrap();
-    check("CERTAINTY(AC(3)) by Theorem 4 algorithm", false, solver.is_certain(&db));
-    check("CERTAINTY(AC(3)) by brute force", false, oracle.is_certain_bruteforce(&db));
+    check(
+        "CERTAINTY(AC(3)) by Theorem 4 algorithm",
+        false,
+        solver.is_certain(&db),
+    );
+    check(
+        "CERTAINTY(AC(3)) by brute force",
+        false,
+        oracle.is_certain_bruteforce(&db),
+    );
     let falsifying = db
         .repairs()
-        .filter(|r| !eval::satisfies(r, &q))
+        .filter(|r| !eval::naive::satisfies(r, &q))
         .count();
     check("falsifying repairs (Figure 7 shows two)", 2, falsifying);
 }
 
 /// E6 — the tractability-frontier chart over the query catalog.
 fn e6() {
-    header("E6", "Theorems 1-4: classification of the query catalog (the frontier chart)");
+    header(
+        "E6",
+        "Theorems 1-4: classification of the query catalog (the frontier chart)",
+    );
     let expected: &[(&str, &str)] = &[
         ("conference", "first-order expressible"),
         ("path2", "first-order expressible"),
@@ -196,7 +268,10 @@ fn e6() {
 
 /// E7 — the Theorem 2 reduction.
 fn e7() {
-    header("E7", "Theorem 2: the θ̂ reduction from CERTAINTY(q0) to CERTAINTY(q1)");
+    header(
+        "E7",
+        "Theorem 2: the θ̂ reduction from CERTAINTY(q0) to CERTAINTY(q1)",
+    );
     let target = catalog::q1().query;
     let reduction = Theorem2Reduction::new(&target).unwrap();
     let src_oracle = ExactOracle::new(reduction.source_query()).unwrap();
@@ -213,7 +288,11 @@ fn e7() {
             agreements += 1;
         }
     }
-    check("reduction preserves (non-)certainty on 20 random instances", "20/20", format!("{agreements}/{total}"));
+    check(
+        "reduction preserves (non-)certainty on 20 random instances",
+        "20/20",
+        format!("{agreements}/{total}"),
+    );
     // Scaling of the reduction itself (polynomial-time construction).
     for &n in &[50usize, 100, 200] {
         let db0 = q0_instance(1, n, 2, 0.7);
@@ -229,7 +308,10 @@ fn e7() {
 
 /// E8 — Theorem 3 scaling: polynomial solver vs. exponential baseline.
 fn e8() {
-    header("E8", "Theorem 3: weak terminal cycles in P (fig4 query), vs. brute-force baseline");
+    header(
+        "E8",
+        "Theorem 3: weak terminal cycles in P (fig4 query), vs. brute-force baseline",
+    );
     let q = catalog::fig4().query;
     let solver = TerminalCycleSolver::new(&q).unwrap();
     let oracle = ExactOracle::new(&q).unwrap();
@@ -264,7 +346,10 @@ fn e8() {
 
 /// E9 — Theorem 4 / Corollary 1 scaling.
 fn e9() {
-    header("E9", "Theorem 4 / Corollary 1: AC(k) and C(k) certainty at scale");
+    header(
+        "E9",
+        "Theorem 4 / Corollary 1: AC(k) and C(k) certainty at scale",
+    );
     for k in 2..=4usize {
         let ac = catalog::ac_k(k).query;
         let solver = CycleQuerySolver::new(&ac).unwrap();
@@ -290,12 +375,19 @@ fn e9() {
             agree += 1;
         }
     }
-    check("C(3): Theorem 4 algorithm agrees with the oracle (15 seeds)", "15/15", format!("{agree}/15"));
+    check(
+        "C(3): Theorem 4 algorithm agrees with the oracle (15 seeds)",
+        "15/15",
+        format!("{agree}/15"),
+    );
 }
 
 /// E10 — Section 7: IsSafe, safe-plan evaluation, Theorem 6.
 fn e10() {
-    header("E10", "Section 7: IsSafe, PROBABILITY(q) evaluation, Theorem 6 / Corollary 2");
+    header(
+        "E10",
+        "Section 7: IsSafe, PROBABILITY(q) evaluation, Theorem 6 / Corollary 2",
+    );
     let safe_expected: &[(&str, bool)] = &[
         ("conference", true),
         ("path2", false),
@@ -305,7 +397,10 @@ fn e10() {
         ("fig4", false),
     ];
     for (name, want) in safe_expected {
-        let entry = catalog::all().into_iter().find(|e| e.name == *name).unwrap();
+        let entry = catalog::all()
+            .into_iter()
+            .find(|e| e.name == *name)
+            .unwrap();
         check(&format!("IsSafe({name})"), want, is_safe(&entry.query));
     }
     let mut t6 = true;
@@ -318,7 +413,11 @@ fn e10() {
         c2 &= corollary2_holds(&entry.query).unwrap();
     }
     check("Theorem 6 (safe => FO) holds on the catalog", true, t6);
-    check("Corollary 2 (not FO => unsafe) holds on the catalog", true, c2);
+    check(
+        "Corollary 2 (not FO => unsafe) holds on the catalog",
+        true,
+        c2,
+    );
 
     // Safe-plan vs. exhaustive evaluation on Figure 1.
     let q = catalog::conference().query;
@@ -342,12 +441,19 @@ fn e10() {
             db.repair_count_log2()
         );
     }
-    println!("  Figure 1 timings: exhaustive {} vs safe plan {}", micros(t_exact), micros(t_safe));
+    println!(
+        "  Figure 1 timings: exhaustive {} vs safe plan {}",
+        micros(t_exact),
+        micros(t_safe)
+    );
 }
 
 /// E11 — Proposition 1.
 fn e11() {
-    header("E11", "Proposition 1: Pr(q) = 1  <=>  restriction to full blocks is certain");
+    header(
+        "E11",
+        "Proposition 1: Pr(q) = 1  <=>  restriction to full blocks is certain",
+    );
     let q = catalog::conference().query;
     let mut agreement = 0;
     let total = 25;
@@ -369,7 +475,10 @@ fn e11() {
 
 /// E12 — attack-graph construction cost and rewriting artifacts.
 fn e12() {
-    header("E12", "Attack-graph construction (Section 4: quadratic time) and FO rewritings");
+    header(
+        "E12",
+        "Attack-graph construction (Section 4: quadratic time) and FO rewritings",
+    );
     let sized_queries = vec![
         catalog::conference(),
         catalog::q1(),
@@ -404,8 +513,14 @@ fn e12() {
         RewritingSolver::new(&q).unwrap().is_certain(&db),
         evaluate_sentence(&rewriting, &db),
     );
-    println!("\n  certain rewriting of the conference query:\n    {}", rewriting.display(q.schema()));
-    println!("\n  SQL translation:\n    {}", to_sql(&rewriting, q.schema()).unwrap());
+    println!(
+        "\n  certain rewriting of the conference query:\n    {}",
+        rewriting.display(q.schema())
+    );
+    println!(
+        "\n  SQL translation:\n    {}",
+        to_sql(&rewriting, q.schema()).unwrap()
+    );
     // Certain answers for the non-Boolean variant.
     let schema = q.schema().clone();
     let open = cqa_query::ConjunctiveQuery::builder(schema)
@@ -417,13 +532,20 @@ fn e12() {
                 cqa_query::Term::constant("Rome"),
             ],
         )
-        .atom("R", [cqa_query::Term::var("x"), cqa_query::Term::constant("A")])
+        .atom(
+            "R",
+            [cqa_query::Term::var("x"), cqa_query::Term::constant("A")],
+        )
         .free([cqa_query::Variable::new("x")])
         .build()
         .unwrap();
     let sets = certain_answers(&open, &db).unwrap();
     check("certain answers to q(x) on Figure 1", 0, sets.certain.len());
-    check("possible answers to q(x) on Figure 1", 2, sets.possible.len());
+    check(
+        "possible answers to q(x) on Figure 1",
+        2,
+        sets.possible.len(),
+    );
 }
 
 fn indent(text: &str) -> String {

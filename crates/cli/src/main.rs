@@ -55,7 +55,7 @@ fn run() -> Result<(), String> {
     let selected: Vec<&(String, cqa_query::ConjunctiveQuery)> = doc
         .queries
         .iter()
-        .filter(|(name, _)| query_filter.as_deref().map_or(true, |f| f == name))
+        .filter(|(name, _)| query_filter.as_deref().is_none_or(|f| f == name))
         .collect();
     let has_flag = |name: &str| flag_names.iter().any(|f| f == name);
 
@@ -117,22 +117,20 @@ fn run() -> Result<(), String> {
                 println!("{name}: Pr(q) = {p:.6} under the uniform-repair distribution");
             }
         }
-        "repairs" => {
-            match doc.database.repair_count() {
-                Some(c) if c <= 64 => {
-                    println!("{c} repairs:");
-                    for (i, repair) in doc.database.repairs().enumerate() {
-                        println!("--- repair {} ---", i + 1);
-                        print!("{repair}");
-                    }
+        "repairs" => match doc.database.repair_count() {
+            Some(c) if c <= 64 => {
+                println!("{c} repairs:");
+                for (i, repair) in doc.database.repairs().enumerate() {
+                    println!("--- repair {} ---", i + 1);
+                    print!("{repair}");
                 }
-                Some(c) => println!("{c} repairs (too many to list)"),
-                None => println!(
-                    "more than 2^128 repairs (log2 ≈ {:.1})",
-                    doc.database.repair_count_log2()
-                ),
             }
-        }
+            Some(c) => println!("{c} repairs (too many to list)"),
+            None => println!(
+                "more than 2^128 repairs (log2 ≈ {:.1})",
+                doc.database.repair_count_log2()
+            ),
+        },
         "attack-graph" => {
             for (name, query) in &selected {
                 let graph = AttackGraph::build(query).map_err(|e| e.to_string())?;

@@ -102,11 +102,7 @@ mod tests {
         let c = fixed.schema().relation_id("C").unwrap();
         fixed.remove_fact(&cqa_data::Fact::new(
             c,
-            vec![
-                Value::str("PODS"),
-                Value::str("2016"),
-                Value::str("Paris"),
-            ],
+            vec![Value::str("PODS"), Value::str("2016"), Value::str("Paris")],
         ));
         let answers = certain_answers(&q, &fixed).unwrap();
         assert_eq!(answers.certain.len(), 1);

@@ -30,17 +30,15 @@ impl ClosureTable {
     pub fn compute(query: &ConjunctiveQuery) -> Result<Self, QueryError> {
         let index = query.var_index()?;
         let n = query.len();
-        let key_sets: Vec<VarSet> = (0..n)
-            .map(|i| index.set_of(&query.key_vars(i)))
-            .collect();
+        let key_sets: Vec<VarSet> = (0..n).map(|i| index.set_of(&query.key_vars(i))).collect();
         let var_sets: Vec<VarSet> = (0..n).map(|i| index.set_of(&query.vars_of(i))).collect();
         let full_fds = FdSet::of_query(query, &index);
         let mut plus = Vec::with_capacity(n);
         let mut boxed = Vec::with_capacity(n);
-        for f in 0..n {
+        for (f, &key_set) in key_sets.iter().enumerate() {
             let without_f = FdSet::of_atoms(query, (0..n).filter(|&i| i != f), &index);
-            plus.push(without_f.closure(key_sets[f]));
-            boxed.push(full_fds.closure(key_sets[f]));
+            plus.push(without_f.closure(key_set));
+            boxed.push(full_fds.closure(key_set));
         }
         Ok(ClosureTable {
             index,
@@ -78,7 +76,10 @@ impl ClosureTable {
 
     /// `F^{+,q}` materialised as variables (for display / diagnostics).
     pub fn plus_vars(&self, atom: AtomId) -> BTreeSet<Variable> {
-        self.index.materialize(self.plus[atom]).into_iter().collect()
+        self.index
+            .materialize(self.plus[atom])
+            .into_iter()
+            .collect()
     }
 
     /// `F^{⊞,q}` materialised as variables.

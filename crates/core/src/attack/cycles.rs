@@ -57,12 +57,9 @@ impl CycleAnalysis {
                     let to = atoms[(i + 1) % atoms.len()];
                     graph.strength(from, to) == Some(AttackStrength::Strong)
                 });
-                let terminal = atoms.iter().all(|&from| {
-                    graph
-                        .attacked_by(from)
-                        .iter()
-                        .all(|to| atoms.contains(to))
-                });
+                let terminal = atoms
+                    .iter()
+                    .all(|&from| graph.attacked_by(from).iter().all(|to| atoms.contains(to)));
                 CycleInfo {
                     atoms,
                     strong,
@@ -215,7 +212,11 @@ mod tests {
 
     #[test]
     fn acyclic_attack_graphs_have_no_cycles() {
-        for entry in [catalog::fo_path2(), catalog::fo_path3(), catalog::conference()] {
+        for entry in [
+            catalog::fo_path2(),
+            catalog::fo_path3(),
+            catalog::conference(),
+        ] {
             let (ag, an) = analysis(&entry.query);
             assert!(ag.is_acyclic());
             assert!(!an.has_cycle());

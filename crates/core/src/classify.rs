@@ -188,8 +188,14 @@ mod tests {
 
     #[test]
     fn theorem2_region() {
-        assert_eq!(class_of(&catalog::q1().query), ComplexityClass::CoNpComplete);
-        assert_eq!(class_of(&catalog::q0().query), ComplexityClass::CoNpComplete);
+        assert_eq!(
+            class_of(&catalog::q1().query),
+            ComplexityClass::CoNpComplete
+        );
+        assert_eq!(
+            class_of(&catalog::q0().query),
+            ComplexityClass::CoNpComplete
+        );
     }
 
     #[test]
@@ -265,8 +271,14 @@ mod tests {
             .unwrap()
             .into_shared();
         let q = ConjunctiveQuery::builder(schema)
-            .atom("R1", [cqa_query::Term::var("x1"), cqa_query::Term::var("x2")])
-            .atom("R2", [cqa_query::Term::var("x2"), cqa_query::Term::var("x1")])
+            .atom(
+                "R1",
+                [cqa_query::Term::var("x1"), cqa_query::Term::var("x2")],
+            )
+            .atom(
+                "R2",
+                [cqa_query::Term::var("x2"), cqa_query::Term::var("x1")],
+            )
             .atom(
                 "S",
                 [
@@ -290,12 +302,16 @@ mod tests {
 
     #[test]
     fn display_strings_mention_the_theorems() {
-        assert!(ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles)
-            .to_string()
-            .contains("Theorem 3"));
-        assert!(ComplexityClass::PolynomialTime(PtimeReason::CycleQueryAc { k: 3 })
-            .to_string()
-            .contains("Theorem 4"));
+        assert!(
+            ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles)
+                .to_string()
+                .contains("Theorem 3")
+        );
+        assert!(
+            ComplexityClass::PolynomialTime(PtimeReason::CycleQueryAc { k: 3 })
+                .to_string()
+                .contains("Theorem 4")
+        );
         assert!(ComplexityClass::CoNpComplete.to_string().contains("coNP"));
         assert!(ComplexityClass::FirstOrderExpressible.is_tractable());
         assert!(!ComplexityClass::CoNpComplete.is_tractable());

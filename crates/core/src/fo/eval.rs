@@ -7,8 +7,9 @@
 //! [`crate::fo::rewrite`].
 
 use super::FoFormula;
-use cqa_data::{Fact, FxHashMap, UncertainDatabase, Value};
+use cqa_data::{DatabaseIndex, Fact, FxHashMap, PositionSet, UncertainDatabase, Value};
 use cqa_query::{Term, Variable};
+use std::sync::Arc;
 
 /// A variable assignment used during evaluation.
 pub type Environment = FxHashMap<Variable, Value>;
@@ -26,6 +27,31 @@ fn eval_term(term: &Term, env: &Environment) -> Option<Value> {
 /// make atoms and equalities evaluate to `false` (the formulas produced by
 /// [`crate::fo::rewrite`] are sentences, so this never triggers for them).
 pub fn evaluate(formula: &FoFormula, db: &UncertainDatabase, env: &Environment) -> bool {
+    let index = db.index();
+    let mut scratch = env.clone();
+    let mut domains = DomainCache::default();
+    eval_rec(formula, db, &index, &mut scratch, &mut domains)
+}
+
+/// Memoizes [`restricted_domain`] per quantifier body and variable for the
+/// duration of one [`evaluate`] call: the restriction depends only on the
+/// formula node and the index snapshot, but a node under an outer quantifier
+/// is visited once per outer binding. Keyed by the body's address, which is
+/// stable while the formula is borrowed.
+type DomainCache = FxHashMap<(usize, Variable), Option<Arc<Vec<Value>>>>;
+
+/// Evaluates the sentence (no free variables) over the database.
+pub fn evaluate_sentence(formula: &FoFormula, db: &UncertainDatabase) -> bool {
+    evaluate(formula, db, &Environment::default())
+}
+
+fn eval_rec(
+    formula: &FoFormula,
+    db: &UncertainDatabase,
+    index: &DatabaseIndex,
+    env: &mut Environment,
+    domains: &mut DomainCache,
+) -> bool {
     match formula {
         FoFormula::True => true,
         FoFormula::False => false,
@@ -40,50 +66,155 @@ pub fn evaluate(formula: &FoFormula, db: &UncertainDatabase, env: &Environment) 
             (Some(x), Some(y)) => x == y,
             _ => false,
         },
-        FoFormula::Not(inner) => !evaluate(inner, db, env),
-        FoFormula::And(parts) => parts.iter().all(|p| evaluate(p, db, env)),
-        FoFormula::Or(parts) => parts.iter().any(|p| evaluate(p, db, env)),
-        FoFormula::Implies(a, b) => !evaluate(a, db, env) || evaluate(b, db, env),
-        FoFormula::Exists(vars, body) => quantify(vars, body, db, env, true),
-        FoFormula::Forall(vars, body) => !quantify(vars, body, db, env, false),
+        FoFormula::Not(inner) => !eval_rec(inner, db, index, env, domains),
+        FoFormula::And(parts) => parts.iter().all(|p| eval_rec(p, db, index, env, domains)),
+        FoFormula::Or(parts) => parts.iter().any(|p| eval_rec(p, db, index, env, domains)),
+        FoFormula::Implies(a, b) => {
+            !eval_rec(a, db, index, env, domains) || eval_rec(b, db, index, env, domains)
+        }
+        FoFormula::Exists(vars, body) => quantify(vars, body, db, index, env, domains, true),
+        FoFormula::Forall(vars, body) => !quantify(vars, body, db, index, env, domains, false),
     }
 }
 
-/// Evaluates the sentence (no free variables) over the database.
-pub fn evaluate_sentence(formula: &FoFormula, db: &UncertainDatabase) -> bool {
-    evaluate(formula, db, &Environment::default())
+/// Collects the relational atoms that must hold whenever `formula` holds:
+/// the formula itself, the conjuncts of top-level conjunctions, and (for
+/// constraining *outer* variables) the bodies of nested existentials, minus
+/// variables those existentials shadow. Negated or disjunctive contexts are
+/// not descended into.
+fn necessary_atoms<'f>(
+    formula: &'f FoFormula,
+    shadowed: &mut Vec<&'f Variable>,
+    out: &mut Vec<(&'f FoFormula, Vec<&'f Variable>)>,
+) {
+    match formula {
+        FoFormula::Atom { .. } => out.push((formula, shadowed.clone())),
+        FoFormula::And(parts) => {
+            for p in parts {
+                necessary_atoms(p, shadowed, out);
+            }
+        }
+        FoFormula::Exists(vars, body) => {
+            let before = shadowed.len();
+            shadowed.extend(vars.iter());
+            necessary_atoms(body, shadowed, out);
+            shadowed.truncate(before);
+        }
+        _ => {}
+    }
 }
 
-/// Iterates assignments of `vars` over the active domain. With
+/// The values a quantified variable can take while satisfying `body`: if the
+/// variable occurs (unshadowed) in an atom that is necessary for `body`, its
+/// value must appear in the corresponding column of that relation, so the
+/// distinct values of that column — served by the single-position index —
+/// replace the full active domain. Returns `None` when no such occurrence
+/// exists (fall back to the active domain).
+fn restricted_domain(
+    var: &Variable,
+    body: &FoFormula,
+    index: &DatabaseIndex,
+) -> Option<Vec<Value>> {
+    let mut atoms = Vec::new();
+    necessary_atoms(body, &mut Vec::new(), &mut atoms);
+    // Select the smallest column first; only the winner is materialized.
+    let mut best: Option<std::sync::Arc<cqa_data::PositionIndex>> = None;
+    for (atom, shadowed) in &atoms {
+        if shadowed.contains(&var) {
+            continue;
+        }
+        let FoFormula::Atom { relation, terms } = atom else {
+            continue;
+        };
+        for (pos, term) in terms.iter().enumerate().take(PositionSet::MAX_POSITIONS) {
+            if term.as_var() != Some(var) {
+                continue;
+            }
+            let column = index.position_index(*relation, PositionSet::single(pos));
+            if best
+                .as_ref()
+                .is_none_or(|b| column.key_count() < b.key_count())
+            {
+                best = Some(column);
+            }
+        }
+    }
+    best.map(|column| column.keys().map(|key| key[0].clone()).collect())
+}
+
+/// Iterates assignments of `vars` over their candidate domains. With
 /// `looking_for = true` returns true iff some assignment satisfies `body`
 /// (∃); with `false`, returns true iff some assignment *falsifies* it
 /// (so that `Forall` is the negation of the result).
+///
+/// For the satisfying direction each variable's range is restricted to the
+/// column values of an atom the body cannot hold without
+/// ([`restricted_domain`]); the falsifying direction must consider the whole
+/// active domain.
+#[allow(clippy::too_many_arguments)]
 fn quantify(
     vars: &[Variable],
     body: &FoFormula,
     db: &UncertainDatabase,
-    env: &Environment,
+    index: &DatabaseIndex,
+    env: &mut Environment,
+    cache: &mut DomainCache,
     looking_for: bool,
 ) -> bool {
-    let domain: Vec<Value> = db.active_domain().into_iter().collect();
-    if domain.is_empty() {
+    let full_domain = index.active_domain();
+    if full_domain.is_empty() {
         // Empty active domain: ∃ is false, ∀ is true.
         return false;
     }
+    // `None` means "the full active domain" — borrowed from the snapshot
+    // rather than cloned, since unrestricted variables are the common case.
+    // Restrictions are memoized per (body, variable): a quantifier nested
+    // under another is visited once per outer binding with the same result.
+    let body_key = body as *const FoFormula as usize;
+    let domains: Vec<Option<Arc<Vec<Value>>>> = vars
+        .iter()
+        .map(|v| {
+            if !looking_for {
+                return None;
+            }
+            cache
+                .entry((body_key, v.clone()))
+                .or_insert_with(|| restricted_domain(v, body, index).map(Arc::new))
+                .clone()
+        })
+        .collect();
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         vars: &[Variable],
+        domains: &[Option<Arc<Vec<Value>>>],
+        full_domain: &[Value],
         body: &FoFormula,
         db: &UncertainDatabase,
+        index: &DatabaseIndex,
         env: &mut Environment,
-        domain: &[Value],
+        cache: &mut DomainCache,
         looking_for: bool,
     ) -> bool {
         match vars.split_first() {
-            None => evaluate(body, db, env) == looking_for,
+            None => eval_rec(body, db, index, env, cache) == looking_for,
             Some((v, rest)) => {
+                let domain: &[Value] = match &domains[0] {
+                    Some(restricted) => restricted,
+                    None => full_domain,
+                };
                 for value in domain {
                     let previous = env.insert(v.clone(), value.clone());
-                    let found = rec(rest, body, db, env, domain, looking_for);
+                    let found = rec(
+                        rest,
+                        &domains[1..],
+                        full_domain,
+                        body,
+                        db,
+                        index,
+                        env,
+                        cache,
+                        looking_for,
+                    );
                     match previous {
                         Some(p) => {
                             env.insert(v.clone(), p);
@@ -100,8 +231,17 @@ fn quantify(
             }
         }
     }
-    let mut scratch = env.clone();
-    rec(vars, body, db, &mut scratch, &domain, looking_for)
+    rec(
+        vars,
+        &domains,
+        full_domain,
+        body,
+        db,
+        index,
+        env,
+        cache,
+        looking_for,
+    )
 }
 
 #[cfg(test)]
@@ -154,8 +294,14 @@ mod tests {
         let forall = FoFormula::forall(
             vec![Variable::new("x")],
             FoFormula::Implies(
-                Box::new(FoFormula::atom(rel, vec![Term::var("x"), Term::constant("1")])),
-                Box::new(FoFormula::atom(rel, vec![Term::var("x"), Term::constant("2")])),
+                Box::new(FoFormula::atom(
+                    rel,
+                    vec![Term::var("x"), Term::constant("1")],
+                )),
+                Box::new(FoFormula::atom(
+                    rel,
+                    vec![Term::var("x"), Term::constant("2")],
+                )),
             ),
         );
         assert!(!evaluate_sentence(&forall, &db));
@@ -163,8 +309,14 @@ mod tests {
         let forall2 = FoFormula::forall(
             vec![Variable::new("x")],
             FoFormula::Implies(
-                Box::new(FoFormula::atom(rel, vec![Term::var("x"), Term::constant("2")])),
-                Box::new(FoFormula::atom(rel, vec![Term::var("x"), Term::constant("1")])),
+                Box::new(FoFormula::atom(
+                    rel,
+                    vec![Term::var("x"), Term::constant("2")],
+                )),
+                Box::new(FoFormula::atom(
+                    rel,
+                    vec![Term::var("x"), Term::constant("1")],
+                )),
             ),
         );
         assert!(evaluate_sentence(&forall2, &db));
@@ -181,7 +333,10 @@ mod tests {
             &FoFormula::And(vec![FoFormula::False, FoFormula::True]),
             &db
         ));
-        assert!(evaluate_sentence(&FoFormula::Not(Box::new(FoFormula::False)), &db));
+        assert!(evaluate_sentence(
+            &FoFormula::Not(Box::new(FoFormula::False)),
+            &db
+        ));
         assert!(evaluate_sentence(
             &FoFormula::Implies(Box::new(FoFormula::False), Box::new(FoFormula::False)),
             &db
@@ -197,11 +352,11 @@ mod tests {
             vec![Variable::new("x")],
             FoFormula::atom(rel, vec![Term::var("x"), Term::var("x")]),
         );
-        let forall = FoFormula::forall(
-            vec![Variable::new("x")],
-            FoFormula::False,
-        );
+        let forall = FoFormula::forall(vec![Variable::new("x")], FoFormula::False);
         assert!(!evaluate_sentence(&exists, &empty));
-        assert!(evaluate_sentence(&forall, &empty), "∀ over empty domain is true");
+        assert!(
+            evaluate_sentence(&forall, &empty),
+            "∀ over empty domain is true"
+        );
     }
 }

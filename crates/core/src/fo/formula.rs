@@ -86,9 +86,14 @@ impl FoFormula {
     /// tests and the experiment harness).
     pub fn size(&self) -> usize {
         match self {
-            FoFormula::True | FoFormula::False | FoFormula::Atom { .. } | FoFormula::Equals(_, _) => 1,
+            FoFormula::True
+            | FoFormula::False
+            | FoFormula::Atom { .. }
+            | FoFormula::Equals(_, _) => 1,
             FoFormula::Not(f) => 1 + f.size(),
-            FoFormula::And(fs) | FoFormula::Or(fs) => 1 + fs.iter().map(FoFormula::size).sum::<usize>(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                1 + fs.iter().map(FoFormula::size).sum::<usize>()
+            }
             FoFormula::Implies(a, b) => 1 + a.size() + b.size(),
             FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => 1 + f.size(),
         }

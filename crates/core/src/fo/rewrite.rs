@@ -35,7 +35,11 @@ pub fn certain_rewriting(query: &ConjunctiveQuery) -> Result<FoFormula, QueryErr
         });
     }
     let mut fresh = 0usize;
-    Ok(rewrite(query, &std::collections::BTreeSet::new(), &mut fresh))
+    Ok(rewrite(
+        query,
+        &std::collections::BTreeSet::new(),
+        &mut fresh,
+    ))
 }
 
 fn fresh_var(counter: &mut usize) -> Variable {
@@ -145,7 +149,11 @@ fn rewrite(
     let inner = FoFormula::and(
         equalities
             .into_iter()
-            .chain(std::iter::once(rewrite(&renamed_residual, &bound_next, fresh)))
+            .chain(std::iter::once(rewrite(
+                &renamed_residual,
+                &bound_next,
+                fresh,
+            )))
             .collect(),
     );
     let forall = FoFormula::forall(
@@ -187,8 +195,8 @@ mod tests {
         let solver = RewritingSolver::new(&q).unwrap();
         let oracle = ExactOracle::new(&q).unwrap();
         let db = catalog::conference_database();
-        assert_eq!(evaluate_sentence(&formula, &db), false);
-        assert_eq!(solver.is_certain(&db), false);
+        assert!(!evaluate_sentence(&formula, &db));
+        assert!(!solver.is_certain(&db));
         // A certain variant.
         let mut fixed = db.clone();
         let c = fixed.schema().relation_id("C").unwrap();
@@ -221,10 +229,16 @@ mod tests {
                 (state >> 33) as usize
             };
             for _ in 0..4 {
-                db.insert_values("R", [format!("a{}", next() % 2), format!("b{}", next() % 2)])
-                    .unwrap();
-                db.insert_values("S", [format!("b{}", next() % 2), format!("c{}", next() % 2)])
-                    .unwrap();
+                db.insert_values(
+                    "R",
+                    [format!("a{}", next() % 2), format!("b{}", next() % 2)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "S",
+                    [format!("b{}", next() % 2), format!("c{}", next() % 2)],
+                )
+                .unwrap();
             }
             assert_eq!(
                 evaluate_sentence(&formula, &db),
@@ -241,10 +255,7 @@ mod tests {
             .unwrap()
             .into_shared();
         let q = ConjunctiveQuery::builder(schema.clone())
-            .atom(
-                "R",
-                [Term::var("x"), Term::var("y"), Term::var("y")],
-            )
+            .atom("R", [Term::var("x"), Term::var("y"), Term::var("y")])
             .atom("S", [Term::var("y"), Term::constant("v")])
             .build()
             .unwrap();

@@ -35,17 +35,21 @@ fn literal(value: &Value) -> String {
     }
 }
 
-fn term_expr(
-    term: &Term,
-    bindings: &FxHashMap<Variable, String>,
-) -> Result<String, QueryError> {
+fn term_expr(term: &Term, bindings: &FxHashMap<Variable, String>) -> Result<String, QueryError> {
     match term {
         Term::Const(c) => Ok(literal(c)),
-        Term::Var(v) => bindings.get(v).cloned().ok_or_else(|| QueryError::Unsupported {
-            reason: format!("variable {v} is not bound by an enclosing guard"),
-        }),
+        Term::Var(v) => bindings
+            .get(v)
+            .cloned()
+            .ok_or_else(|| QueryError::Unsupported {
+                reason: format!("variable {v} is not bound by an enclosing guard"),
+            }),
     }
 }
+
+/// The FROM alias, WHERE constraints and fresh variable bindings produced by
+/// translating one guard atom.
+type GuardParts = (String, Vec<String>, FxHashMap<Variable, String>);
 
 /// Translates a quantifier body guarded by `guard_atom`: produces the FROM
 /// alias, the WHERE constraints induced by the guard, and the bindings for
@@ -57,7 +61,7 @@ fn guard_constraints(
     schema: &Schema,
     bindings: &FxHashMap<Variable, String>,
     alias_counter: &mut usize,
-) -> Result<(String, Vec<String>, FxHashMap<Variable, String>), QueryError> {
+) -> Result<GuardParts, QueryError> {
     let alias = format!("t{}", *alias_counter);
     *alias_counter += 1;
     let rel = schema.relation(relation);
@@ -97,7 +101,10 @@ fn translate(
             term_expr(a, bindings)?,
             term_expr(b, bindings)?
         )),
-        FoFormula::Not(inner) => Ok(format!("NOT {}", translate(inner, schema, bindings, alias_counter)?)),
+        FoFormula::Not(inner) => Ok(format!(
+            "NOT {}",
+            translate(inner, schema, bindings, alias_counter)?
+        )),
         FoFormula::And(parts) => {
             let translated: Result<Vec<String>, QueryError> = parts
                 .iter()
@@ -126,7 +133,9 @@ fn translate(
             } else {
                 constraints.join(" AND ")
             };
-            Ok(format!("EXISTS (SELECT 1 FROM {from} WHERE {where_clause})"))
+            Ok(format!(
+                "EXISTS (SELECT 1 FROM {from} WHERE {where_clause})"
+            ))
         }
         FoFormula::Exists(vars, body) => {
             // Expect the body to be (possibly a conjunction starting with) a
@@ -148,7 +157,9 @@ fn translate(
             } else {
                 where_parts.join(" AND ")
             };
-            Ok(format!("EXISTS (SELECT 1 FROM {from} WHERE {where_clause})"))
+            Ok(format!(
+                "EXISTS (SELECT 1 FROM {from} WHERE {where_clause})"
+            ))
         }
         FoFormula::Forall(vars, body) => {
             // ∀ x̄ (guard → ψ)  ≡  NOT EXISTS (guard AND NOT ψ).

@@ -111,11 +111,7 @@ mod tests {
     #[test]
     fn corollary1_reduction_preserves_certainty() {
         // A forced 3-cycle: certain for C(3).
-        let edges = [
-            (1usize, "a", "b"),
-            (2, "b", "c"),
-            (3, "c", "a"),
-        ];
+        let edges = [(1usize, "a", "b"), (2, "b", "c"), (3, "c", "a")];
         let (db_c, db_a) = ck_instance_on_ack_schema(3, &edges);
         let c3 = catalog::c_k(3).query;
         let ac3 = catalog::ac_k(3).query;

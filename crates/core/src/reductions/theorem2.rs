@@ -144,11 +144,7 @@ impl Theorem2Reduction {
         for theta in &valuations {
             let lifted = self.lift(theta);
             for atom in self.target.atoms() {
-                facts.push(
-                    lifted
-                        .apply_atom(atom)
-                        .expect("θ̂ is total on vars(q)"),
-                );
+                facts.push(lifted.apply_atom(atom).expect("θ̂ is total on vars(q)"));
             }
         }
         UncertainDatabase::from_facts(self.target.schema().clone(), facts)
@@ -190,7 +186,7 @@ mod tests {
         let source_oracle = ExactOracle::new(reduction.source_query()).unwrap();
         let target_oracle = ExactOracle::new(&target).unwrap();
 
-        let instances = vec![
+        let instances = [
             // Certain: single consistent match.
             q0_db(&[("a", "b")], &[("b", "c", "a")]),
             // Not certain: R0(a, ·) has an escape value.
@@ -201,10 +197,7 @@ mod tests {
                 &[("b", "c", "a"), ("e", "c", "a")],
             ),
             // Uncertainty on the S0 side.
-            q0_db(
-                &[("a", "b")],
-                &[("b", "c", "a"), ("b", "c", "a2")],
-            ),
+            q0_db(&[("a", "b")], &[("b", "c", "a"), ("b", "c", "a2")]),
             // Mixed, two independent key groups.
             q0_db(
                 &[("a", "b"), ("a2", "b2"), ("a2", "b3")],
@@ -215,7 +208,10 @@ mod tests {
             let expected = source_oracle.is_certain_bruteforce(db0);
             let db = reduction.apply(db0);
             let actual = target_oracle.is_certain(&db);
-            assert_eq!(actual, expected, "instance {i}\nsource:\n{db0}\ntarget:\n{db}");
+            assert_eq!(
+                actual, expected,
+                "instance {i}\nsource:\n{db0}\ntarget:\n{db}"
+            );
         }
     }
 
@@ -241,10 +237,7 @@ mod tests {
         // pair and triple values are first-class tuple constants.
         let target = catalog::q0().query; // q0 itself has a strong cycle
         let reduction = Theorem2Reduction::new(&target).unwrap();
-        let db0 = q0_db(
-            &[("a", "b")],
-            &[("b", "c1", "a"), ("b", "c2", "a")],
-        );
+        let db0 = q0_db(&[("a", "b")], &[("b", "c1", "a"), ("b", "c2", "a")]);
         let db = reduction.apply(&db0);
         // Two S0-source facts → two distinct valuations → the reduced database
         // must keep them apart (otherwise certainty would flip).

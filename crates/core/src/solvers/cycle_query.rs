@@ -155,24 +155,27 @@ impl CycleQuerySolver {
     /// Runs the Theorem 4 decision procedure on a purified database.
     fn decide(&self, db: &UncertainDatabase) -> bool {
         let k = self.shape.k;
+        // One index snapshot serves every per-relation pass below; the
+        // k-partite graph and the forbidden-cycle set are then built without
+        // re-scanning the blocks of the other relations.
+        let index = db.index();
 
         // Vertices are (cycle position, constant); edges come from the Ri facts.
         let mut graph: DiGraph<(usize, Value)> = DiGraph::new();
         let mut ids: FxHashMap<(usize, Value), NodeId> = FxHashMap::default();
-        let mut node =
-            |graph: &mut DiGraph<(usize, Value)>, key: (usize, Value)| -> NodeId {
-                match ids.get(&key) {
-                    Some(&id) => id,
-                    None => {
-                        let id = graph.add_node(key.clone());
-                        ids.insert(key, id);
-                        id
-                    }
+        let mut node = |graph: &mut DiGraph<(usize, Value)>, key: (usize, Value)| -> NodeId {
+            match ids.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = graph.add_node(key.clone());
+                    ids.insert(key, id);
+                    id
                 }
-            };
+            }
+        };
         for (pos, &atom_id) in self.shape.r_atoms.iter().enumerate() {
             let rel = self.query.atom(atom_id).relation();
-            for fact in db.relation_facts(rel) {
+            for fact in index.relation_facts(rel) {
                 let from = node(&mut graph, (pos, fact.value(0).clone()));
                 let to = node(&mut graph, ((pos + 1) % k, fact.value(1).clone()));
                 graph.add_edge(from, to);
@@ -197,7 +200,7 @@ impl CycleQuerySolver {
                     })
                     .collect();
                 let mut set = FxHashSet::default();
-                for fact in db.relation_facts(atom.relation()) {
+                for fact in index.relation_facts(atom.relation()) {
                     let vector: Vec<Value> =
                         positions.iter().map(|&p| fact.value(p).clone()).collect();
                     set.insert(vector);
@@ -408,12 +411,21 @@ mod tests {
             };
             let dom = 2;
             for _ in 0..4 {
-                db.insert_values("R1", [format!("a{}", next() % dom), format!("b{}", next() % dom)])
-                    .unwrap();
-                db.insert_values("R2", [format!("b{}", next() % dom), format!("c{}", next() % dom)])
-                    .unwrap();
-                db.insert_values("R3", [format!("c{}", next() % dom), format!("a{}", next() % dom)])
-                    .unwrap();
+                db.insert_values(
+                    "R1",
+                    [format!("a{}", next() % dom), format!("b{}", next() % dom)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "R2",
+                    [format!("b{}", next() % dom), format!("c{}", next() % dom)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "R3",
+                    [format!("c{}", next() % dom), format!("a{}", next() % dom)],
+                )
+                .unwrap();
             }
             assert_eq!(
                 solver.is_certain(&db),
@@ -441,10 +453,16 @@ mod tests {
                 (state >> 33) as usize
             };
             for _ in 0..5 {
-                db.insert_values("R1", [format!("a{}", next() % 3), format!("b{}", next() % 3)])
-                    .unwrap();
-                db.insert_values("R2", [format!("b{}", next() % 3), format!("a{}", next() % 3)])
-                    .unwrap();
+                db.insert_values(
+                    "R1",
+                    [format!("a{}", next() % 3), format!("b{}", next() % 3)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "R2",
+                    [format!("b{}", next() % 3), format!("a{}", next() % 3)],
+                )
+                .unwrap();
             }
             assert_eq!(
                 cycle_solver.is_certain(&db),

@@ -37,9 +37,12 @@ impl ExactOracle {
 
     /// Plain brute force: enumerate *all* repairs and evaluate the query on
     /// each. Exponential in the number of violated blocks; only intended for
-    /// very small instances (tests and cross-validation).
+    /// very small instances (tests and cross-validation). Each repair is a
+    /// throwaway evaluated exactly once, so the naive evaluator is used —
+    /// building an index snapshot per repair would dominate.
     pub fn is_certain_bruteforce(&self, db: &UncertainDatabase) -> bool {
-        db.repairs().all(|r| eval::satisfies(&r, &self.query))
+        db.repairs()
+            .all(|r| eval::naive::satisfies(&r, &self.query))
     }
 
     /// Searches for a falsifying repair; returns one if it exists.
@@ -72,7 +75,9 @@ impl ExactOracle {
         blocks.sort_by_key(|b| std::cmp::Reverse(b.len()));
 
         let mut chosen: Vec<Fact> = Vec::with_capacity(blocks.len());
-        if self.search(&purified, &blocks, 0, &mut chosen) {
+        let mut chosen_db = purified.with_facts([]);
+        let mut optimistic_db = purified.clone();
+        if self.search(&blocks, 0, &mut chosen, &mut chosen_db, &mut optimistic_db) {
             // `chosen` falsifies q on the purified database; re-attach one
             // (unsupported) fact per removed block, as in the Lemma 1 proof.
             let facts = chosen.into_iter().chain(removed_witnesses);
@@ -86,32 +91,36 @@ impl ExactOracle {
     }
 
     /// Backtracking over blocks. `chosen` holds one fact per already-decided
-    /// block; returns true if some completion falsifies the query.
+    /// block; `chosen_db` (the chosen facts) and `optimistic_db` (the chosen
+    /// facts plus every fact of the still-undecided blocks) mirror it as
+    /// databases, both maintained incrementally rather than rebuilt per
+    /// node. Returns true if some completion falsifies the query.
     fn search(
         &self,
-        db: &UncertainDatabase,
         blocks: &[Vec<Fact>],
         depth: usize,
         chosen: &mut Vec<Fact>,
+        chosen_db: &mut UncertainDatabase,
+        optimistic_db: &mut UncertainDatabase,
     ) -> bool {
         // Pruning 1: if the chosen facts alone already satisfy q, no
-        // completion of this branch can falsify it.
-        let chosen_db = db.with_facts(chosen.iter().cloned());
-        if eval::satisfies(&chosen_db, &self.query) {
-            return false;
+        // completion of this branch can falsify it. The parent node was not
+        // satisfied (it would have been pruned), so the chosen facts satisfy
+        // q iff some valuation image uses the fact added last — an anchored
+        // probe instead of a from-scratch decision. The naive variant is the
+        // right evaluator here: `chosen_db` is tiny and mutated at every
+        // node, so an index snapshot would be rebuilt per probe.
+        if let Some(last) = chosen.last() {
+            if purify::supports_naive(chosen_db, &self.query, last) {
+                return false;
+            }
         }
         if depth == blocks.len() {
             return true; // A complete falsifying repair.
         }
         // Pruning 2: even taking *all* facts of the undecided blocks, if q is
         // not satisfied then any completion falsifies it — pick arbitrarily.
-        let optimistic = db.with_facts(
-            chosen
-                .iter()
-                .cloned()
-                .chain(blocks[depth..].iter().flatten().cloned()),
-        );
-        if !eval::satisfies(&optimistic, &self.query) {
+        if !eval::naive::satisfies(optimistic_db, &self.query) {
             for block in &blocks[depth..] {
                 chosen.push(block[0].clone());
             }
@@ -119,10 +128,29 @@ impl ExactOracle {
         }
         for fact in &blocks[depth] {
             chosen.push(fact.clone());
-            if self.search(db, blocks, depth + 1, chosen) {
+            chosen_db
+                .insert(fact.clone())
+                .expect("facts of a database are schema-valid");
+            // Deciding this block shrinks the optimistic database by the
+            // block's rejected facts.
+            for sibling in &blocks[depth] {
+                if sibling != fact {
+                    optimistic_db.remove_fact(sibling);
+                }
+            }
+            let found = self.search(blocks, depth + 1, chosen, chosen_db, optimistic_db);
+            for sibling in &blocks[depth] {
+                if sibling != fact {
+                    optimistic_db
+                        .insert(sibling.clone())
+                        .expect("facts of a database are schema-valid");
+                }
+            }
+            if found {
                 return true;
             }
             chosen.pop();
+            chosen_db.remove_fact(fact);
         }
         false
     }
@@ -214,7 +242,9 @@ mod tests {
             let mut db = UncertainDatabase::new(schema.clone());
             let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             let mut next = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as usize
             };
             for _ in 0..6 {

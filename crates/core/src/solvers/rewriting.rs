@@ -19,10 +19,8 @@
 
 use super::CertaintySolver;
 use crate::attack::AttackGraph;
-use cqa_data::UncertainDatabase;
-use cqa_query::{
-    substitute, AtomId, ConjunctiveQuery, QueryError, Valuation,
-};
+use cqa_data::{Block, UncertainDatabase, Value};
+use cqa_query::{substitute, AtomId, ConjunctiveQuery, QueryError, Term, Valuation};
 
 /// Certainty solver for queries whose attack graph is acyclic.
 pub struct RewritingSolver {
@@ -80,7 +78,26 @@ pub fn eliminate_unattacked_atom(
     let f = query.atom(atom);
     let residual = query.without_atom(atom);
 
-    'blocks: for block in db.blocks_of(f.relation()) {
+    // Only blocks of F's relation can host a witness; when F's key terms are
+    // all constants (the recursion grounds key variables, so this is the
+    // common case below the top level) the single candidate block is a hash
+    // probe away, and otherwise the index's per-relation block list avoids
+    // scanning the blocks of every other relation.
+    let constant_key: Option<Vec<Value>> = f
+        .key_terms(schema)
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(_) => None,
+        })
+        .collect();
+    let index = db.index();
+    let blocks: Vec<&Block> = match constant_key {
+        Some(key) => db.block_with_key(f.relation(), &key).into_iter().collect(),
+        None => index.relation_blocks(db, f.relation()).collect(),
+    };
+
+    'blocks: for block in blocks {
         // Every fact of the block must match F (constants, repeated
         // variables); collect the induced bindings.
         let mut bindings: Vec<Valuation> = Vec::with_capacity(block.len());
@@ -120,8 +137,8 @@ impl CertaintySolver for RewritingSolver {
 mod tests {
     use super::*;
     use crate::solvers::oracle::ExactOracle;
-    use cqa_query::catalog;
     use cqa_data::{Schema, UncertainDatabase};
+    use cqa_query::catalog;
 
     #[test]
     fn conference_example_not_certain_then_certain() {
@@ -166,10 +183,16 @@ mod tests {
                 (state >> 33) as usize
             };
             for _ in 0..5 {
-                db.insert_values("R", [format!("a{}", next() % 3), format!("b{}", next() % 3)])
-                    .unwrap();
-                db.insert_values("S", [format!("b{}", next() % 3), format!("c{}", next() % 2)])
-                    .unwrap();
+                db.insert_values(
+                    "R",
+                    [format!("a{}", next() % 3), format!("b{}", next() % 3)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "S",
+                    [format!("b{}", next() % 3), format!("c{}", next() % 2)],
+                )
+                .unwrap();
             }
             assert_eq!(
                 solver.is_certain(&db),
@@ -195,12 +218,21 @@ mod tests {
                 (state >> 33) as usize
             };
             for _ in 0..4 {
-                db.insert_values("R", [format!("a{}", next() % 2), format!("b{}", next() % 2)])
-                    .unwrap();
-                db.insert_values("S", [format!("b{}", next() % 2), format!("c{}", next() % 2)])
-                    .unwrap();
-                db.insert_values("T", [format!("c{}", next() % 2), format!("d{}", next() % 2)])
-                    .unwrap();
+                db.insert_values(
+                    "R",
+                    [format!("a{}", next() % 2), format!("b{}", next() % 2)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "S",
+                    [format!("b{}", next() % 2), format!("c{}", next() % 2)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "T",
+                    [format!("c{}", next() % 2), format!("d{}", next() % 2)],
+                )
+                .unwrap();
             }
             assert_eq!(
                 solver.is_certain(&db),
@@ -217,8 +249,14 @@ mod tests {
             .unwrap()
             .into_shared();
         let q = ConjunctiveQuery::builder(schema.clone())
-            .atom("R", [cqa_query::Term::constant("k"), cqa_query::Term::var("y")])
-            .atom("S", [cqa_query::Term::var("y"), cqa_query::Term::constant("v")])
+            .atom(
+                "R",
+                [cqa_query::Term::constant("k"), cqa_query::Term::var("y")],
+            )
+            .atom(
+                "S",
+                [cqa_query::Term::var("y"), cqa_query::Term::constant("v")],
+            )
             .build()
             .unwrap();
         let solver = RewritingSolver::new(&q).unwrap();

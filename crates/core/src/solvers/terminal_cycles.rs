@@ -68,7 +68,11 @@ impl TerminalCycleSolver {
         debug_assert!(cycles.all_cycles_weak() && cycles.all_cycles_terminal());
         let pairs = cycles.two_cycles();
         debug_assert_eq!(
-            pairs.iter().flat_map(|&(a, b)| [a, b]).collect::<BTreeSet<_>>().len(),
+            pairs
+                .iter()
+                .flat_map(|&(a, b)| [a, b])
+                .collect::<BTreeSet<_>>()
+                .len(),
             query.len(),
             "every atom lies on exactly one 2-cycle in the base case"
         );
@@ -83,32 +87,29 @@ impl TerminalCycleSolver {
                 .iter()
                 .filter(|v| {
                     pairs.iter().enumerate().any(|(j, &(c, d))| {
-                        j != idx
-                            && (query.atom(c).contains_var(v) || query.atom(d).contains_var(v))
+                        j != idx && (query.atom(c).contains_var(v) || query.atom(d).contains_var(v))
                     })
                 })
                 .cloned()
                 .collect();
 
-            // Partition the pair's facts by the value vector of the shared variables.
+            // Partition the pair's facts by the value vector of the shared
+            // variables, visiting only the two relations of the pair through
+            // the index (the database also holds the other pairs' facts).
             let solver = TwoAtomSolver::new(&pair_query)
                 .expect("pair queries are Boolean and self-join-free");
+            let index = db.index();
             let mut partitions: FxHashMap<Vec<Value>, Vec<Fact>> = FxHashMap::default();
-            for fact in db.facts() {
-                let atom = if fact.relation() == pair_query.atom(0).relation() {
-                    pair_query.atom(0)
-                } else if fact.relation() == pair_query.atom(1).relation() {
-                    pair_query.atom(1)
-                } else {
-                    continue;
-                };
-                let theta = Valuation::new()
-                    .unify_with_fact(atom, fact, query.schema())
-                    .expect("purified facts match their atom");
-                let vector = theta
-                    .project(&shared)
-                    .expect("shared variables occur in both atoms of the pair");
-                partitions.entry(vector).or_default().push(fact.clone());
+            for atom in [pair_query.atom(0), pair_query.atom(1)] {
+                for fact in index.relation_facts(atom.relation()) {
+                    let theta = Valuation::new()
+                        .unify_with_fact(atom, fact, query.schema())
+                        .expect("purified facts match their atom");
+                    let vector = theta
+                        .project(&shared)
+                        .expect("shared variables occur in both atoms of the pair");
+                    partitions.entry(vector).or_default().push(fact.clone());
+                }
             }
 
             // ⌈db_i⌉: the union of the partitions that are certain for the pair query.
@@ -174,10 +175,16 @@ mod tests {
                 (state >> 33) as usize
             };
             for _ in 0..(2 + seed as usize % 6) {
-                db.insert_values("R1", [format!("a{}", next() % 3), format!("b{}", next() % 3)])
-                    .unwrap();
-                db.insert_values("R2", [format!("b{}", next() % 3), format!("a{}", next() % 3)])
-                    .unwrap();
+                db.insert_values(
+                    "R1",
+                    [format!("a{}", next() % 3), format!("b{}", next() % 3)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "R2",
+                    [format!("b{}", next() % 3), format!("a{}", next() % 3)],
+                )
+                .unwrap();
             }
             assert_eq!(
                 solver.is_certain(&db),
@@ -218,10 +225,12 @@ mod tests {
                 let u4 = format!("q{}", next() % 2);
                 db.insert_values("R3", [x.clone(), y.clone(), u3.clone(), u4.clone()])
                     .unwrap();
-                db.insert_values("R4", [x.clone(), y.clone(), u4, u3]).unwrap();
+                db.insert_values("R4", [x.clone(), y.clone(), u4, u3])
+                    .unwrap();
                 let u5 = format!("s{}", next() % 2);
                 let u6 = format!("t{}", next() % 2);
-                db.insert_values("R5", [y.clone(), u5.clone(), u6.clone()]).unwrap();
+                db.insert_values("R5", [y.clone(), u5.clone(), u6.clone()])
+                    .unwrap();
                 db.insert_values("R6", [y, u6, u5]).unwrap();
             }
             assert_eq!(

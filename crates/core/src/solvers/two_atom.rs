@@ -117,11 +117,8 @@ impl TwoAtomSolver {
                 if !alive_block[bi] {
                     continue;
                 }
-                let has_free_fact = (0..blocks[bi].len()).any(|fi| {
-                    conflicts[bi][fi]
-                        .iter()
-                        .all(|&(bj, _)| !alive_block[bj])
-                });
+                let has_free_fact = (0..blocks[bi].len())
+                    .any(|fi| conflicts[bi][fi].iter().all(|&(bj, _)| !alive_block[bj]));
                 if has_free_fact {
                     alive_block[bi] = false;
                     changed = true;
@@ -143,16 +140,20 @@ impl TwoAtomSolver {
             visited.insert(start);
             while let Some(b) = queue.pop() {
                 component.push(b);
-                for fi in 0..blocks[b].len() {
-                    for &(bj, _) in &conflicts[b][fi] {
+                for fact_conflicts in conflicts[b].iter().take(blocks[b].len()) {
+                    for &(bj, _) in fact_conflicts {
                         if alive_block[bj] && visited.insert(bj) {
                             queue.push(bj);
                         }
                     }
                 }
             }
-            if !Self::component_has_independent_choice(&blocks, &conflicts, &alive_block, &component)
-            {
+            if !Self::component_has_independent_choice(
+                &blocks,
+                &conflicts,
+                &alive_block,
+                &component,
+            ) {
                 return false;
             }
         }
@@ -241,7 +242,7 @@ pub fn is_kp_tractable(query: &ConjunctiveQuery) -> bool {
     if query.len() != 2 {
         return false;
     }
-    if AttackGraph::build(query).map_or(false, |g| g.is_acyclic()) {
+    if AttackGraph::build(query).is_ok_and(|g| g.is_acyclic()) {
         return true;
     }
     let key_f = query.key_vars(0);
@@ -255,8 +256,8 @@ pub fn is_kp_tractable(query: &ConjunctiveQuery) -> bool {
 mod tests {
     use super::*;
     use crate::solvers::oracle::ExactOracle;
-    use cqa_query::catalog;
     use cqa_data::UncertainDatabase;
+    use cqa_query::catalog;
 
     #[test]
     fn c2_small_instances_match_brute_force() {
@@ -274,10 +275,16 @@ mod tests {
                 (state >> 33) as usize
             };
             for _ in 0..(3 + seed as usize % 5) {
-                db.insert_values("R1", [format!("a{}", next() % 3), format!("b{}", next() % 3)])
-                    .unwrap();
-                db.insert_values("R2", [format!("b{}", next() % 3), format!("a{}", next() % 3)])
-                    .unwrap();
+                db.insert_values(
+                    "R1",
+                    [format!("a{}", next() % 3), format!("b{}", next() % 3)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "R2",
+                    [format!("b{}", next() % 3), format!("a{}", next() % 3)],
+                )
+                .unwrap();
             }
             assert_eq!(
                 solver.is_certain(&db),
@@ -338,8 +345,11 @@ mod tests {
                 (state >> 33) as usize
             };
             for _ in 0..5 {
-                db.insert_values("R0", [format!("x{}", next() % 2), format!("y{}", next() % 2)])
-                    .unwrap();
+                db.insert_values(
+                    "R0",
+                    [format!("x{}", next() % 2), format!("y{}", next() % 2)],
+                )
+                .unwrap();
                 db.insert_values(
                     "S0",
                     [

@@ -1,9 +1,10 @@
 //! Uncertain databases and their block structure.
 
+use crate::index::DatabaseIndex;
 use crate::{Block, BlockId, DataError, Fact, FxHashMap, RelationId, RepairIter, Schema, Value};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An **uncertain database**: a finite set of facts over a fixed schema in
 /// which primary keys need not be satisfied (Section 3 of the paper).
@@ -29,13 +30,29 @@ use std::sync::Arc;
 /// assert!(!db.is_consistent());
 /// assert_eq!(db.repair_count(), Some(4)); // Figure 1: four repairs
 /// ```
-#[derive(Clone)]
 pub struct UncertainDatabase {
     schema: Arc<Schema>,
     blocks: Vec<Block>,
     /// Maps (relation, key) to the dense index of the owning block.
     index: FxHashMap<(RelationId, Vec<Value>), usize>,
     fact_count: usize,
+    /// Cached secondary-index snapshot; rebuilt lazily after mutations.
+    index_cache: Mutex<Option<Arc<DatabaseIndex>>>,
+}
+
+impl Clone for UncertainDatabase {
+    fn clone(&self) -> Self {
+        // The clone has identical contents, so it can share the cached
+        // snapshot; each copy's own mutations invalidate only its own cache.
+        let cached = self.index_cache.lock().expect("index cache lock").clone();
+        UncertainDatabase {
+            schema: self.schema.clone(),
+            blocks: self.blocks.clone(),
+            index: self.index.clone(),
+            fact_count: self.fact_count,
+            index_cache: Mutex::new(cached),
+        }
+    }
 }
 
 impl UncertainDatabase {
@@ -46,7 +63,28 @@ impl UncertainDatabase {
             blocks: Vec::new(),
             index: FxHashMap::default(),
             fact_count: 0,
+            index_cache: Mutex::new(None),
         }
+    }
+
+    /// The secondary-index snapshot of the current contents (see
+    /// [`DatabaseIndex`]), built on first use and cached until the next
+    /// mutation.
+    pub fn index(&self) -> Arc<DatabaseIndex> {
+        let mut cache = self.index_cache.lock().expect("index cache lock");
+        match &*cache {
+            Some(snapshot) => snapshot.clone(),
+            None => {
+                let snapshot = Arc::new(DatabaseIndex::build(self));
+                *cache = Some(snapshot.clone());
+                snapshot
+            }
+        }
+    }
+
+    /// Drops the cached index snapshot; called by every mutating method.
+    fn invalidate_index(&mut self) {
+        *self.index_cache.get_mut().expect("index cache lock") = None;
     }
 
     /// Builds a database from an iterator of facts.
@@ -83,7 +121,8 @@ impl UncertainDatabase {
             Some(&i) => i,
             None => {
                 let i = self.blocks.len();
-                self.blocks.push(Block::new(fact.relation(), entry.1.clone()));
+                self.blocks
+                    .push(Block::new(fact.relation(), entry.1.clone()));
                 self.index.insert(entry, i);
                 i
             }
@@ -91,6 +130,7 @@ impl UncertainDatabase {
         let inserted = self.blocks[block_idx].push(fact);
         if inserted {
             self.fact_count += 1;
+            self.invalidate_index();
         }
         Ok(inserted)
     }
@@ -186,7 +226,9 @@ impl UncertainDatabase {
 
     /// The active domain: every constant appearing in some fact.
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.facts().flat_map(|f| f.values().iter().cloned()).collect()
+        self.facts()
+            .flat_map(|f| f.values().iter().cloned())
+            .collect()
     }
 
     /// Number of repairs, i.e. the product of all block sizes.
@@ -251,6 +293,7 @@ impl UncertainDatabase {
             return false;
         }
         self.fact_count -= 1;
+        self.invalidate_index();
         if self.blocks[idx].is_empty() {
             self.remove_empty_block_at(idx);
         }
@@ -259,6 +302,7 @@ impl UncertainDatabase {
 
     fn remove_block_at(&mut self, idx: usize) {
         self.fact_count -= self.blocks[idx].len();
+        self.invalidate_index();
         self.remove_empty_block_at(idx);
     }
 

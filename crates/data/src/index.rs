@@ -1,0 +1,428 @@
+//! Secondary indexes over an [`UncertainDatabase`].
+//!
+//! The database's primary index (relation + key prefix → block) supports the
+//! block structure of Section 3; the solvers, however, join facts on
+//! *arbitrary* position subsets: a backtracking join binds variables one atom
+//! at a time, and the positions that are already bound change from search
+//! node to search node. A [`DatabaseIndex`] is an immutable snapshot of the
+//! database built for exactly that access pattern:
+//!
+//! * every fact gets a dense [`FactId`], so candidate sets are plain `u32`
+//!   lists instead of cloned facts;
+//! * per-relation fact and block lists replace the full-database scans of
+//!   `relation_facts` / `blocks_of`;
+//! * [`DatabaseIndex::position_index`] builds (lazily, once) a hash index
+//!   from the values at any chosen [`PositionSet`] to the ids of the facts
+//!   carrying those values, so a join step with bound positions is a single
+//!   hash probe;
+//! * the sorted active domain is computed once and cached for the
+//!   quantifier loops of the first-order model checker.
+//!
+//! The snapshot is cached on the database ([`UncertainDatabase::index`]) and
+//! invalidated by any mutation, so repeated evaluations against the same
+//! database pay the build cost once.
+
+use crate::{Block, BlockId, Fact, FxHashMap, RelationId, UncertainDatabase, Value};
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Dense id of a fact inside one [`DatabaseIndex`] snapshot.
+///
+/// Ids run `0..index.fact_count()` and are only meaningful relative to the
+/// snapshot that produced them (a mutation of the database produces a new
+/// snapshot with new ids).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FactId(pub(crate) u32);
+
+impl FactId {
+    /// The dense index of the fact.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a fact id from a dense index.
+    pub fn from_index(i: usize) -> Self {
+        FactId(i as u32)
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fact#{}", self.0)
+    }
+}
+
+/// A set of attribute positions (0-based), stored as a bitmask.
+///
+/// Relations in this workspace have small arities (the paper's signatures
+/// are `[n, k]` with tiny `n`); 64 positions are plenty.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PositionSet(u64);
+
+impl PositionSet {
+    /// The number of representable positions (`0..MAX_POSITIONS`). Callers
+    /// indexing relations of larger arity must skip the excess positions
+    /// (probing a position subset always yields a candidate *superset*, so
+    /// skipping positions is sound wherever candidates are re-checked).
+    pub const MAX_POSITIONS: usize = 64;
+
+    /// The empty position set.
+    pub fn empty() -> Self {
+        PositionSet(0)
+    }
+
+    /// The set containing a single position.
+    pub fn single(pos: usize) -> Self {
+        let mut s = PositionSet::empty();
+        s.insert(pos);
+        s
+    }
+
+    /// Builds a set from an iterator of positions.
+    pub fn from_positions(positions: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = PositionSet::empty();
+        for p in positions {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Adds a position (< 64).
+    pub fn insert(&mut self, pos: usize) {
+        assert!(
+            pos < Self::MAX_POSITIONS,
+            "PositionSet supports positions 0..64"
+        );
+        self.0 |= 1 << pos;
+    }
+
+    /// True iff the position is in the set.
+    pub fn contains(&self, pos: usize) -> bool {
+        pos < Self::MAX_POSITIONS && self.0 & (1 << pos) != 0
+    }
+
+    /// True iff no position is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of positions in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over the positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..Self::MAX_POSITIONS).filter(move |p| bits & (1 << p) != 0)
+    }
+}
+
+impl fmt::Debug for PositionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// A hash index of one relation on one position subset: maps the tuple of
+/// values at those positions (in ascending position order) to the dense ids
+/// of the facts carrying them.
+pub struct PositionIndex {
+    positions: Vec<usize>,
+    buckets: FxHashMap<Vec<Value>, Arc<[u32]>>,
+    empty: Arc<[u32]>,
+}
+
+impl PositionIndex {
+    fn build(index: &DatabaseIndex, relation: RelationId, positions: PositionSet) -> Self {
+        let positions: Vec<usize> = positions.iter().collect();
+        let mut grouped: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+        for &fid in index.relation_fact_ids(relation) {
+            let fact = &index.facts[fid as usize];
+            let key: Vec<Value> = positions.iter().map(|&p| fact.value(p).clone()).collect();
+            grouped.entry(key).or_default().push(fid);
+        }
+        let buckets = grouped
+            .into_iter()
+            .map(|(key, ids)| (key, ids.into()))
+            .collect();
+        PositionIndex {
+            positions,
+            buckets,
+            empty: Arc::from(&[][..]),
+        }
+    }
+
+    /// The indexed positions, ascending.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// The fact ids whose values at the indexed positions equal `key`
+    /// (values in ascending position order). Missing keys give `&[]`.
+    pub fn candidates(&self, key: &[Value]) -> &[u32] {
+        self.buckets.get(key).map_or(&[], |ids| ids)
+    }
+
+    /// Like [`PositionIndex::candidates`], but returns a shared handle, so a
+    /// caller can resolve the bucket once and keep it without re-hashing the
+    /// key (the join engine's per-node pattern).
+    pub fn candidates_shared(&self, key: &[Value]) -> Arc<[u32]> {
+        self.buckets.get(key).unwrap_or(&self.empty).clone()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates over the distinct keys (arbitrary order).
+    ///
+    /// For a single-position index this enumerates the distinct values of
+    /// that column — the candidate set the first-order model checker uses to
+    /// restrict quantifier ranges.
+    pub fn keys(&self) -> impl Iterator<Item = &[Value]> {
+        self.buckets.keys().map(Vec::as_slice)
+    }
+}
+
+/// An immutable index snapshot of an [`UncertainDatabase`].
+///
+/// Obtained from [`UncertainDatabase::index`]; see the module documentation.
+pub struct DatabaseIndex {
+    facts: Vec<Fact>,
+    fact_blocks: Vec<u32>,
+    by_relation: Vec<Vec<u32>>,
+    blocks_by_relation: Vec<Vec<u32>>,
+    active_domain: OnceLock<Arc<[Value]>>,
+    position_indexes: Mutex<FxHashMap<(RelationId, u64), Arc<PositionIndex>>>,
+}
+
+impl DatabaseIndex {
+    pub(crate) fn build(db: &UncertainDatabase) -> Self {
+        let relations = db.schema().len();
+        let mut facts = Vec::with_capacity(db.fact_count());
+        let mut fact_blocks = Vec::with_capacity(db.fact_count());
+        let mut by_relation = vec![Vec::new(); relations];
+        let mut blocks_by_relation = vec![Vec::new(); relations];
+        for (block_id, block) in db.blocks_with_ids() {
+            blocks_by_relation[block.relation().index()].push(block_id.0);
+            for fact in block.facts() {
+                let fid = facts.len() as u32;
+                by_relation[fact.relation().index()].push(fid);
+                facts.push(fact.clone());
+                fact_blocks.push(block_id.0);
+            }
+        }
+        DatabaseIndex {
+            facts,
+            fact_blocks,
+            by_relation,
+            blocks_by_relation,
+            active_domain: OnceLock::new(),
+            position_indexes: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Number of facts in the snapshot.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// The fact with the given dense id.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        &self.facts[id.index()]
+    }
+
+    /// The block (id) a fact belongs to.
+    pub fn block_of(&self, id: FactId) -> BlockId {
+        BlockId(self.fact_blocks[id.index()])
+    }
+
+    /// Dense ids of all facts of one relation, in snapshot order.
+    pub fn relation_fact_ids(&self, relation: RelationId) -> &[u32] {
+        &self.by_relation[relation.index()]
+    }
+
+    /// Ids of all blocks of one relation.
+    pub fn relation_block_ids(&self, relation: RelationId) -> &[u32] {
+        &self.blocks_by_relation[relation.index()]
+    }
+
+    /// Iterates over the facts of one relation without a database scan.
+    pub fn relation_facts(&self, relation: RelationId) -> impl Iterator<Item = &Fact> {
+        self.relation_fact_ids(relation)
+            .iter()
+            .map(move |&fid| &self.facts[fid as usize])
+    }
+
+    /// Iterates over the blocks of one relation of `db` without scanning the
+    /// other relations' blocks.
+    ///
+    /// `db` must be the database this snapshot was built from.
+    pub fn relation_blocks<'a>(
+        &'a self,
+        db: &'a UncertainDatabase,
+        relation: RelationId,
+    ) -> impl Iterator<Item = &'a Block> {
+        self.relation_block_ids(relation)
+            .iter()
+            .map(move |&b| db.block(BlockId(b)))
+    }
+
+    /// The sorted, deduplicated active domain, computed once per snapshot.
+    pub fn active_domain(&self) -> &[Value] {
+        self.active_domain.get_or_init(|| {
+            let mut dom: Vec<Value> = self
+                .facts
+                .iter()
+                .flat_map(|f| f.values().iter().cloned())
+                .collect();
+            dom.sort();
+            dom.dedup();
+            dom.into()
+        })
+    }
+
+    /// The hash index of `relation` on the given position subset, built on
+    /// first use and cached for the lifetime of the snapshot.
+    ///
+    /// An empty position set yields a single bucket (the empty key) holding
+    /// every fact of the relation; callers with no bound positions should
+    /// prefer [`DatabaseIndex::relation_fact_ids`].
+    pub fn position_index(
+        &self,
+        relation: RelationId,
+        positions: PositionSet,
+    ) -> Arc<PositionIndex> {
+        let key = (relation, positions.0);
+        if let Some(existing) = self.position_indexes.lock().expect("index lock").get(&key) {
+            return existing.clone();
+        }
+        // Build outside the lock: concurrent builders may race, in which
+        // case one result wins and the duplicates are dropped — harmless.
+        let built = Arc::new(PositionIndex::build(self, relation, positions));
+        let mut cache = self.position_indexes.lock().expect("index lock");
+        cache.entry(key).or_insert(built).clone()
+    }
+}
+
+impl fmt::Debug for DatabaseIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DatabaseIndex({} facts)", self.facts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn figure1() -> UncertainDatabase {
+        let schema = Schema::from_relations([("C", 3, 2), ("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("C", ["PODS", "2016", "Rome"]).unwrap();
+        db.insert_values("C", ["PODS", "2016", "Paris"]).unwrap();
+        db.insert_values("C", ["KDD", "2017", "Rome"]).unwrap();
+        db.insert_values("R", ["PODS", "A"]).unwrap();
+        db.insert_values("R", ["KDD", "A"]).unwrap();
+        db.insert_values("R", ["KDD", "B"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn position_sets_behave_like_sets() {
+        let s = PositionSet::from_positions([2, 0]);
+        assert!(s.contains(0) && s.contains(2) && !s.contains(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(PositionSet::empty().is_empty());
+        assert_eq!(PositionSet::single(3).iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn snapshot_lists_facts_and_blocks_per_relation() {
+        let db = figure1();
+        let index = db.index();
+        let c = db.schema().relation_id("C").unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        assert_eq!(index.fact_count(), 6);
+        assert_eq!(index.relation_fact_ids(c).len(), 3);
+        assert_eq!(index.relation_fact_ids(r).len(), 3);
+        assert_eq!(index.relation_block_ids(c).len(), 2);
+        assert_eq!(index.relation_block_ids(r).len(), 2);
+        for &fid in index.relation_fact_ids(c) {
+            let fact = index.fact(FactId(fid));
+            assert_eq!(fact.relation(), c);
+            let block = db.block(index.block_of(FactId(fid)));
+            assert!(block.contains(fact));
+        }
+        let listed: Vec<_> = index.relation_blocks(&db, r).collect();
+        assert_eq!(listed.len(), 2);
+        assert!(listed.iter().all(|b| b.relation() == r));
+    }
+
+    #[test]
+    fn position_probes_find_exactly_the_matching_facts() {
+        let db = figure1();
+        let index = db.index();
+        let c = db.schema().relation_id("C").unwrap();
+        // Index C on its third column (the city).
+        let city = index.position_index(c, PositionSet::single(2));
+        assert_eq!(city.candidates(&[Value::str("Rome")]).len(), 2);
+        assert_eq!(city.candidates(&[Value::str("Paris")]).len(), 1);
+        assert_eq!(city.candidates(&[Value::str("Tokyo")]).len(), 0);
+        assert_eq!(city.key_count(), 2);
+        // Index C on (conference, city).
+        let pair = index.position_index(c, PositionSet::from_positions([0, 2]));
+        assert_eq!(pair.positions(), &[0, 2]);
+        let hits = pair.candidates(&[Value::str("PODS"), Value::str("Rome")]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(index.fact(FactId(hits[0])).value(1), &Value::str("2016"));
+        // The same subset is served from the cache (same Arc).
+        let again = index.position_index(c, PositionSet::from_positions([0, 2]));
+        assert!(Arc::ptr_eq(&pair, &again));
+    }
+
+    #[test]
+    fn empty_position_set_buckets_everything_under_the_empty_key() {
+        let db = figure1();
+        let index = db.index();
+        let r = db.schema().relation_id("R").unwrap();
+        let all = index.position_index(r, PositionSet::empty());
+        assert_eq!(all.candidates(&[]).len(), 3);
+    }
+
+    #[test]
+    fn active_domain_is_sorted_and_complete() {
+        let db = figure1();
+        let index = db.index();
+        let dom = index.active_domain();
+        assert_eq!(dom.len(), 8);
+        assert!(dom.windows(2).all(|w| w[0] < w[1]));
+        let reference: Vec<Value> = db.active_domain().into_iter().collect();
+        assert_eq!(dom, reference.as_slice());
+    }
+
+    #[test]
+    fn snapshots_are_cached_and_invalidated_by_mutation() {
+        let mut db = figure1();
+        let a = db.index();
+        let b = db.index();
+        assert!(Arc::ptr_eq(&a, &b));
+        db.insert_values("R", ["VLDB", "A"]).unwrap();
+        let c = db.index();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.fact_count(), 7);
+        // Removal invalidates too.
+        let r = db.schema().relation_id("R").unwrap();
+        db.remove_fact(&Fact::new(r, vec![Value::str("VLDB"), Value::str("A")]));
+        let d = db.index();
+        assert_eq!(d.fact_count(), 6);
+        // A clone shares the cached snapshot until either side mutates.
+        let clone = db.clone();
+        assert!(Arc::ptr_eq(&clone.index(), &db.index()));
+    }
+}

@@ -24,6 +24,9 @@
 //!   active domain,
 //! * [`RepairIter`] / [`UncertainDatabase::repairs`] — enumeration and
 //!   counting of repairs,
+//! * [`DatabaseIndex`] — a cached secondary-index snapshot (dense fact ids,
+//!   per-relation fact/block lists, hash indexes on arbitrary position
+//!   subsets) that turns the solvers' join steps into hash probes,
 //! * small utilities shared by the rest of the workspace.
 
 #![forbid(unsafe_code)]
@@ -33,6 +36,7 @@ mod block;
 mod database;
 mod error;
 mod fact;
+pub mod index;
 mod repairs;
 mod schema;
 mod value;
@@ -41,6 +45,7 @@ pub use block::{Block, BlockId};
 pub use database::UncertainDatabase;
 pub use error::DataError;
 pub use fact::Fact;
+pub use index::{DatabaseIndex, FactId, PositionIndex, PositionSet};
 pub use repairs::{RepairIter, RepairSampler};
 pub use schema::{Relation, RelationId, Schema, Signature};
 pub use value::Value;

@@ -84,7 +84,8 @@ impl<'a> RepairSampler<'a> {
     where
         F: FnMut(usize) -> usize,
     {
-        self.db.repair_by(|block| choose(block.len()) % block.len().max(1))
+        self.db
+            .repair_by(|block| choose(block.len()) % block.len().max(1))
     }
 }
 

@@ -174,9 +174,10 @@ impl Schema {
 
     /// Looks a relation up by name, returning an error mentioning the name.
     pub fn require(&self, name: &str) -> Result<RelationId, DataError> {
-        self.relation_id(name).ok_or_else(|| DataError::UnknownRelation {
-            name: name.to_owned(),
-        })
+        self.relation_id(name)
+            .ok_or_else(|| DataError::UnknownRelation {
+                name: name.to_owned(),
+            })
     }
 
     /// Iterates over `(id, relation)` pairs in declaration order.

@@ -156,7 +156,11 @@ impl Default for CycleInstanceConfig {
 /// Generates a `C(k)` or `AC(k)` instance (Figure 6 style): a k-partite
 /// directed graph given by the `R_i` relations, plus — when `with_s_atom` —
 /// an `S_k` relation encoding a fraction of its k-cycles.
-pub fn cycle_instance(k: usize, with_s_atom: bool, config: &CycleInstanceConfig) -> UncertainDatabase {
+pub fn cycle_instance(
+    k: usize,
+    with_s_atom: bool,
+    config: &CycleInstanceConfig,
+) -> UncertainDatabase {
     assert!(k >= 2);
     let entry = if with_s_atom {
         catalog::ac_k(k)

@@ -13,12 +13,7 @@ use crate::{DiGraph, NodeId};
 
 /// Breadth-first reachability from `from` to `to`, optionally forbidding a set
 /// of vertices from being traversed (they may still be the target).
-pub fn is_reachable<N>(
-    graph: &DiGraph<N>,
-    from: NodeId,
-    to: NodeId,
-    forbidden: &[NodeId],
-) -> bool {
+pub fn is_reachable<N>(graph: &DiGraph<N>, from: NodeId, to: NodeId, forbidden: &[NodeId]) -> bool {
     if from == to {
         return true;
     }
@@ -165,12 +160,7 @@ pub fn has_elementary_cycle_longer_than<N>(graph: &DiGraph<N>, k: usize) -> bool
     }
 
     // DFS over simple paths with exactly k edges.
-    fn dfs<N>(
-        graph: &DiGraph<N>,
-        path: &mut Vec<NodeId>,
-        on_path: &mut [bool],
-        k: usize,
-    ) -> bool {
+    fn dfs<N>(graph: &DiGraph<N>, path: &mut Vec<NodeId>, on_path: &mut [bool], k: usize) -> bool {
         if path.len() == k + 1 {
             let a1 = path[0];
             let last = *path.last().expect("non-empty path");
@@ -254,7 +244,12 @@ mod tests {
         let g = graph(&[(0, 1), (1, 2), (0, 3), (3, 2)], 4);
         assert!(is_reachable(&g, NodeId(0), NodeId(2), &[]));
         assert!(is_reachable(&g, NodeId(0), NodeId(2), &[NodeId(1)]));
-        assert!(!is_reachable(&g, NodeId(0), NodeId(2), &[NodeId(1), NodeId(3)]));
+        assert!(!is_reachable(
+            &g,
+            NodeId(0),
+            NodeId(2),
+            &[NodeId(1), NodeId(3)]
+        ));
         assert!(!is_reachable(&g, NodeId(2), NodeId(0), &[]));
         assert!(is_reachable(&g, NodeId(2), NodeId(2), &[]));
     }
@@ -273,11 +268,7 @@ mod tests {
         let all = elementary_cycles(&g, None);
         for k in 1..=3 {
             let expected = all.iter().filter(|c| c.len() == k).count();
-            assert_eq!(
-                cycles_of_length_exact(&g, k).len(),
-                expected,
-                "length {k}"
-            );
+            assert_eq!(cycles_of_length_exact(&g, k).len(), expected, "length {k}");
         }
     }
 
@@ -306,7 +297,16 @@ mod tests {
         // Two triangles sharing an *edge pattern* via distinct vertices allow a
         // 6-cycle: 0->1->2->3->4->5->0 plus chords 0->4 and 3->1 creating 3-cycles.
         let g = graph(
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (3, 1), (0, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (3, 1),
+                (0, 4),
+            ],
             6,
         );
         assert!(has_elementary_cycle_longer_than(&g, 3));

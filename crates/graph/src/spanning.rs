@@ -172,12 +172,7 @@ mod tests {
     #[test]
     fn tree_weight_is_maximal_on_a_small_graph() {
         // Exhaustively check optimality on 4 vertices against all spanning trees.
-        let weights = [
-            [0, 3, 1, 7],
-            [3, 0, 2, 4],
-            [1, 2, 0, 5],
-            [7, 4, 5, 0],
-        ];
+        let weights = [[0, 3, 1, 7], [3, 0, 2, 4], [1, 2, 0, 5], [7, 4, 5, 0]];
         let w = |a: usize, b: usize| weights[a][b];
         let t = maximum_spanning_tree(4, w);
         let tree_weight: i64 = t.edges().iter().map(|&(a, b)| weights[a][b]).sum();
@@ -221,10 +216,7 @@ mod tests {
         let t = Tree::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
         assert_eq!(t.path(0, 3), Some(vec![0, 1, 2, 3]));
         assert_eq!(t.path(3, 1), Some(vec![3, 2, 1]));
-        assert_eq!(
-            t.path_edges(0, 2),
-            Some(vec![(0, 1), (1, 2)])
-        );
+        assert_eq!(t.path_edges(0, 2), Some(vec![(0, 1), (1, 2)]));
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
         let graph = AttackGraph::build(&q).unwrap();
         let dot = attack_graph_to_dot(&graph);
         assert!(dot.starts_with("digraph"));
-        assert!(dot.contains("color=red"), "strong attack must be highlighted");
+        assert!(
+            dot.contains("color=red"),
+            "strong attack must be highlighted"
+        );
         assert_eq!(dot.matches("->").count(), graph.edges().len());
         assert!(dot.contains("R(u, 'a', x)") || dot.contains("R(u; 'a', x)"));
     }
@@ -95,7 +98,10 @@ mod tests {
         let q = cqa_query::ConjunctiveQuery::builder(schema)
             .atom(
                 "R",
-                [cqa_query::Term::var("x"), cqa_query::Term::constant("say \"hi\"")],
+                [
+                    cqa_query::Term::var("x"),
+                    cqa_query::Term::constant("say \"hi\""),
+                ],
             )
             .build()
             .unwrap();

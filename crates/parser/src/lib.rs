@@ -209,7 +209,9 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
         let values: Vec<Value> = args.iter().map(|a| parse_constant(a)).collect();
         let fact = cqa_data::Fact::checked(&schema, rel, values)
             .map_err(|e| err(line_no, e.to_string()))?;
-        database.insert(fact).map_err(|e| err(line_no, e.to_string()))?;
+        database
+            .insert(fact)
+            .map_err(|e| err(line_no, e.to_string()))?;
     }
 
     let mut queries = Vec::new();
@@ -225,13 +227,17 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
                 name,
                 vars.iter()
                     .filter(|v| !v.is_empty())
-                    .map(|v| Variable::new(v))
+                    .map(Variable::new)
                     .collect(),
             )
         } else {
             (head.to_string(), Vec::new())
         };
-        let name = if name.is_empty() { format!("q{line_no}") } else { name };
+        let name = if name.is_empty() {
+            format!("q{line_no}")
+        } else {
+            name
+        };
         let query = parse_query_body(&schema, body, free, line_no)?;
         queries.push((name, query));
     }
@@ -306,10 +312,7 @@ certain which(x) :- C(x, y, "Rome"), R(x, "A")
 
     #[test]
     fn quoted_strings_and_variables_are_distinguished() {
-        let doc = parse_document(
-            "relation R(a*, b)\nR(x, y)\ncertain q :- R(x, \"y\")\n",
-        )
-        .unwrap();
+        let doc = parse_document("relation R(a*, b)\nR(x, y)\ncertain q :- R(x, \"y\")\n").unwrap();
         // In the fact, bare `x` and `y` are constants.
         assert_eq!(doc.database.fact_count(), 1);
         let (_, q) = &doc.queries[0];
@@ -320,7 +323,8 @@ certain which(x) :- C(x, y, "Rome"), R(x, "A")
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let doc = parse_document("# nothing\n\n   \nrelation R(a*)\n# more\nR(1) # inline\n").unwrap();
+        let doc =
+            parse_document("# nothing\n\n   \nrelation R(a*)\n# more\nR(1) # inline\n").unwrap();
         assert_eq!(doc.database.fact_count(), 1);
     }
 }

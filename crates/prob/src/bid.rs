@@ -170,7 +170,11 @@ mod tests {
         let db = db();
         let bid = BidDatabase::new(
             db.clone(),
-            [(fact(&db, "a", "1"), 0.3), (fact(&db, "a", "2"), 0.2), (fact(&db, "b", "1"), 0.9)],
+            [
+                (fact(&db, "a", "1"), 0.3),
+                (fact(&db, "a", "2"), 0.2),
+                (fact(&db, "b", "1"), 0.9),
+            ],
         )
         .unwrap();
         assert!((bid.probability(&fact(&db, "a", "1")) - 0.3).abs() < EPSILON);

@@ -41,7 +41,7 @@ pub fn count_satisfying_repairs(db: &UncertainDatabase, query: &ConjunctiveQuery
     let mut total = 0u128;
     for repair in db.repairs() {
         total += 1;
-        if eval::satisfies(&repair, query) {
+        if eval::naive::satisfies(&repair, query) {
             satisfying += 1;
         }
     }

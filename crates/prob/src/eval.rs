@@ -38,7 +38,7 @@ pub fn probability_exact(bid: &BidDatabase, query: &ConjunctiveQuery) -> f64 {
         }
         if depth == blocks.len() {
             let world = bid.database().with_facts(chosen.iter().cloned());
-            if eval::satisfies(&world, query) {
+            if eval::naive::satisfies(&world, query) {
                 *acc += weight;
             }
             return;
@@ -47,7 +47,15 @@ pub fn probability_exact(bid: &BidDatabase, query: &ConjunctiveQuery) -> f64 {
         let sum: f64 = facts.iter().map(|f| bid.probability(f)).sum();
         // Option 1: the block contributes no fact.
         if 1.0 - sum > 1e-12 {
-            go(bid, query, blocks, depth + 1, chosen, weight * (1.0 - sum), acc);
+            go(
+                bid,
+                query,
+                blocks,
+                depth + 1,
+                chosen,
+                weight * (1.0 - sum),
+                acc,
+            );
         }
         // Option 2: the block contributes one of its facts.
         for fact in facts {
@@ -158,7 +166,7 @@ pub fn probability_monte_carlo<R: Rng>(
             }
         }
         let world = db.with_facts(facts);
-        if eval::satisfies(&world, query) {
+        if eval::naive::satisfies(&world, query) {
             hits += 1;
         }
     }
@@ -174,7 +182,7 @@ pub fn probability_over_repairs(db: &UncertainDatabase, query: &ConjunctiveQuery
     let mut satisfied = 0usize;
     for repair in db.repairs() {
         total += 1;
-        if eval::satisfies(&repair, query) {
+        if eval::naive::satisfies(&repair, query) {
             satisfied += 1;
         }
     }

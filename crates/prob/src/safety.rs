@@ -46,11 +46,11 @@ pub fn connected_components(query: &ConjunctiveQuery) -> Vec<ConjunctiveQuery> {
         component[start] = next_component;
         while let Some(i) = stack.pop() {
             let vars_i = query.atom(i).vars();
-            for j in 0..n {
-                if component[j] == usize::MAX
+            for (j, slot) in component.iter_mut().enumerate() {
+                if *slot == usize::MAX
                     && query.atom(j).vars().intersection(&vars_i).next().is_some()
                 {
-                    component[j] = next_component;
+                    *slot = next_component;
                     stack.push(j);
                 }
             }

@@ -133,13 +133,12 @@ mod tests {
             vec![Term::var("x"), Term::constant("a"), Term::var("y")],
         );
         assert_eq!(a.key_terms(&s).len(), 2);
-        assert_eq!(
-            a.key_vars(&s),
-            [Variable::new("x")].into_iter().collect()
-        );
+        assert_eq!(a.key_vars(&s), [Variable::new("x")].into_iter().collect());
         assert_eq!(
             a.vars(),
-            [Variable::new("x"), Variable::new("y")].into_iter().collect()
+            [Variable::new("x"), Variable::new("y")]
+                .into_iter()
+                .collect()
         );
         assert!(a.contains_var(&Variable::new("y")));
         assert!(!a.contains_var(&Variable::new("z")));

@@ -82,8 +82,8 @@ pub fn q1() -> CatalogQuery {
         .expect("valid query");
     CatalogQuery {
         name: "q1".into(),
-        description:
-            "Figure 2 / Examples 2-4: attack graph with a strong cycle (coNP-complete)".into(),
+        description: "Figure 2 / Examples 2-4: attack graph with a strong cycle (coNP-complete)"
+            .into(),
         query,
     }
 }
@@ -138,8 +138,8 @@ pub fn fig4() -> CatalogQuery {
         .expect("valid query");
     CatalogQuery {
         name: "fig4".into(),
-        description:
-            "Figure 4 / Example 5: three weak terminal attack cycles; in P but not FO".into(),
+        description: "Figure 4 / Example 5: three weak terminal attack cycles; in P but not FO"
+            .into(),
         query,
     }
 }

@@ -121,7 +121,7 @@ mod tests {
     }
 
     fn set(index: &VarIndex, vars: &[&str]) -> VarSet {
-        index.set_of(&vars.iter().map(|s| Variable::new(s)).collect::<Vec<_>>())
+        index.set_of(&vars.iter().map(Variable::new).collect::<Vec<_>>())
     }
 
     #[test]
@@ -136,16 +136,10 @@ mod tests {
 
         // F^{+,q1} = {u}.
         let without_f = FdSet::of_atoms(&q, [g, h, i], &index);
-        assert_eq!(
-            without_f.closure(set(&index, &["u"])),
-            set(&index, &["u"])
-        );
+        assert_eq!(without_f.closure(set(&index, &["u"])), set(&index, &["u"]));
         // G^{+,q1} = {y}.
         let without_g = FdSet::of_atoms(&q, [f, h, i], &index);
-        assert_eq!(
-            without_g.closure(set(&index, &["y"])),
-            set(&index, &["y"])
-        );
+        assert_eq!(without_g.closure(set(&index, &["y"])), set(&index, &["y"]));
         // H^{+,q1} = {x, z}.
         let without_h = FdSet::of_atoms(&q, [f, g, i], &index);
         assert_eq!(

@@ -11,8 +11,7 @@ use std::collections::BTreeSet;
 
 /// True iff the query's hypergraph is acyclic according to the GYO reduction.
 pub fn is_acyclic_gyo(query: &ConjunctiveQuery) -> bool {
-    let mut hyperedges: Vec<BTreeSet<Variable>> =
-        query.atoms().iter().map(|a| a.vars()).collect();
+    let mut hyperedges: Vec<BTreeSet<Variable>> = query.atoms().iter().map(|a| a.vars()).collect();
 
     loop {
         if hyperedges.len() <= 1 {
@@ -33,9 +32,10 @@ pub fn is_acyclic_gyo(query: &ConjunctiveQuery) -> bool {
             // Edge i is an ear if its shared variables are contained in one
             // other edge (or it shares nothing at all).
             let is_ear = shared.is_empty()
-                || hyperedges.iter().enumerate().any(|(j, e)| {
-                    j != i && shared.iter().all(|v| e.contains(*v))
-                });
+                || hyperedges
+                    .iter()
+                    .enumerate()
+                    .any(|(j, e)| j != i && shared.iter().all(|v| e.contains(*v)));
             if is_ear {
                 hyperedges.remove(i);
                 removed = true;

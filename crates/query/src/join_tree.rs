@@ -34,14 +34,14 @@ impl JoinTree {
     /// cyclic (has no join tree).
     pub fn build(query: &ConjunctiveQuery) -> Option<JoinTree> {
         let n = query.len();
-        let var_sets: Vec<BTreeSet<Variable>> =
-            query.atoms().iter().map(|a| a.vars()).collect();
-        let weight = |i: usize, j: usize| -> i64 {
-            var_sets[i].intersection(&var_sets[j]).count() as i64
-        };
+        let var_sets: Vec<BTreeSet<Variable>> = query.atoms().iter().map(|a| a.vars()).collect();
+        let weight =
+            |i: usize, j: usize| -> i64 { var_sets[i].intersection(&var_sets[j]).count() as i64 };
         let tree = maximum_spanning_tree(n, weight);
         let candidate = JoinTree::from_tree(query, tree);
-        candidate.satisfies_connectedness(query).then_some(candidate)
+        candidate
+            .satisfies_connectedness(query)
+            .then_some(candidate)
     }
 
     /// Wraps an explicit spanning tree (vertices = atom ids) as a join-tree
@@ -99,10 +99,7 @@ impl JoinTree {
             .path_edges(from, to)
             .expect("join tree is connected")
             .into_iter()
-            .map(|(a, b)| {
-                self.edge_label(a, b)
-                    .expect("path edges are tree edges")
-            })
+            .map(|(a, b)| self.edge_label(a, b).expect("path edges are tree edges"))
             .collect()
     }
 

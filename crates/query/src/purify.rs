@@ -12,21 +12,43 @@
 use crate::{eval, ConjunctiveQuery, Valuation};
 use cqa_data::{Fact, UncertainDatabase};
 
-/// True iff `fact` is *relevant* for the query on `db`: some valuation `θ`
-/// over `vars(q)` satisfies `fact ∈ θ(q) ⊆ db`.
-pub fn supports(db: &UncertainDatabase, query: &ConjunctiveQuery, fact: &Fact) -> bool {
+/// The anchoring shared by [`supports`] and [`supports_naive`]: some atom of
+/// the query unifies with `fact`, and the induced partial valuation extends
+/// to a full satisfying one (decided by `satisfies_with`).
+fn supports_by<F>(query: &ConjunctiveQuery, fact: &Fact, satisfies_with: F) -> bool
+where
+    F: Fn(&Valuation) -> bool,
+{
     let schema = query.schema();
     for atom in query.atoms() {
         if atom.relation() != fact.relation() {
             continue;
         }
         if let Some(partial) = Valuation::new().unify_with_fact(atom, fact, schema) {
-            if eval::satisfies_with(db, query, &partial) {
+            if satisfies_with(&partial) {
                 return true;
             }
         }
     }
     false
+}
+
+/// True iff `fact` is *relevant* for the query on `db`: some valuation `θ`
+/// over `vars(q)` satisfies `fact ∈ θ(q) ⊆ db`.
+pub fn supports(db: &UncertainDatabase, query: &ConjunctiveQuery, fact: &Fact) -> bool {
+    supports_by(query, fact, |partial| {
+        eval::satisfies_with(db, query, partial)
+    })
+}
+
+/// [`supports`] decided by the naive nested-loop evaluator instead of the
+/// indexed join — the right choice when `db` is tiny or freshly mutated at
+/// every probe, where building an index snapshot would dominate (e.g. the
+/// exact oracle's per-node pruning).
+pub fn supports_naive(db: &UncertainDatabase, query: &ConjunctiveQuery, fact: &Fact) -> bool {
+    supports_by(query, fact, |partial| {
+        eval::naive::satisfies_with(db, query, partial)
+    })
 }
 
 /// True iff `db` is purified relative to `query`.
@@ -85,10 +107,16 @@ mod tests {
         let q = example1_query();
         assert!(!is_purified(&db, &q));
         let s = db.schema().relation_id("S").unwrap();
-        let offending = Fact::new(s, vec![cqa_data::Value::str("b"), cqa_data::Value::str("c")]);
+        let offending = Fact::new(
+            s,
+            vec![cqa_data::Value::str("b"), cqa_data::Value::str("c")],
+        );
         assert!(!supports(&db, &q, &offending));
         // S(b,a) itself does join with R(a,b).
-        let fine = Fact::new(s, vec![cqa_data::Value::str("b"), cqa_data::Value::str("a")]);
+        let fine = Fact::new(
+            s,
+            vec![cqa_data::Value::str("b"), cqa_data::Value::str("a")],
+        );
         assert!(supports(&db, &q, &fine));
     }
 

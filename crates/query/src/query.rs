@@ -26,10 +26,7 @@ pub struct ConjunctiveQuery {
 
 impl ConjunctiveQuery {
     /// Creates a Boolean conjunctive query.
-    pub fn boolean(
-        schema: Arc<Schema>,
-        atoms: impl Into<Vec<Atom>>,
-    ) -> Result<Self, QueryError> {
+    pub fn boolean(schema: Arc<Schema>, atoms: impl Into<Vec<Atom>>) -> Result<Self, QueryError> {
         Self::with_free_vars(schema, atoms, Vec::new())
     }
 
@@ -166,7 +163,10 @@ impl ConjunctiveQuery {
     /// The first relation that occurs in more than one atom, if any.
     pub fn self_joined_relation(&self) -> Option<RelationId> {
         for (i, a) in self.atoms.iter().enumerate() {
-            if self.atoms[i + 1..].iter().any(|b| b.relation() == a.relation()) {
+            if self.atoms[i + 1..]
+                .iter()
+                .any(|b| b.relation() == a.relation())
+            {
                 return Some(a.relation());
             }
         }
@@ -461,7 +461,9 @@ mod tests {
         assert_eq!(q.atoms_containing(&Variable::new("z")), vec![1]);
         assert_eq!(
             q.key_vars(1),
-            [Variable::new("y"), Variable::new("z")].into_iter().collect()
+            [Variable::new("y"), Variable::new("z")]
+                .into_iter()
+                .collect()
         );
     }
 

@@ -69,11 +69,8 @@ pub fn substitute_seq(
     values: &[Value],
 ) -> ConjunctiveQuery {
     debug_assert_eq!(vars.len(), values.len());
-    let map: FxHashMap<Variable, Value> = vars
-        .iter()
-        .cloned()
-        .zip(values.iter().cloned())
-        .collect();
+    let map: FxHashMap<Variable, Value> =
+        vars.iter().cloned().zip(values.iter().cloned()).collect();
     substitute_map(query, &map)
 }
 

@@ -225,7 +225,10 @@ mod tests {
         let r = s.relation_id("R").unwrap();
         let srel = s.relation_id("S").unwrap();
         let atom = Atom::new(r, vec![Term::var("x"), Term::var("y")]);
-        let fact = Fact::new(srel, vec![Value::str("a"), Value::str("b"), Value::str("c")]);
+        let fact = Fact::new(
+            srel,
+            vec![Value::str("a"), Value::str("b"), Value::str("c")],
+        );
         assert!(Valuation::new().unify_with_fact(&atom, &fact, &s).is_none());
     }
 

@@ -29,8 +29,16 @@ fn explore(entry: &catalog::CatalogQuery) {
     let closures = graph.closures();
     println!("\nclosures (Definition 2 / Definition 5):");
     for (id, atom) in entry.query.atoms_with_ids() {
-        let plus: Vec<String> = closures.plus_vars(id).iter().map(|v| v.to_string()).collect();
-        let boxed: Vec<String> = closures.boxed_vars(id).iter().map(|v| v.to_string()).collect();
+        let plus: Vec<String> = closures
+            .plus_vars(id)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let boxed: Vec<String> = closures
+            .boxed_vars(id)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         println!(
             "  {:<22} F+ = {{{}}}   F⊞ = {{{}}}",
             atom.display(entry.query.schema()).to_string(),

@@ -10,17 +10,27 @@ use cqa::query::{catalog, eval};
 fn main() {
     let ac3 = catalog::ac_k(3).query;
     let db = figure6_database();
-    println!("Figure 6 instance ({} facts, {} repairs):", db.fact_count(), db.repair_count().unwrap());
+    println!(
+        "Figure 6 instance ({} facts, {} repairs):",
+        db.fact_count(),
+        db.repair_count().unwrap()
+    );
     print!("{db}");
 
     let solver = CycleQuerySolver::new(&ac3).unwrap();
     let oracle = ExactOracle::new(&ac3).unwrap();
-    println!("\nCERTAINTY(AC(3)) via the Theorem 4 graph algorithm: {}", solver.is_certain(&db));
-    println!("CERTAINTY(AC(3)) via brute force over 8 repairs:      {}", oracle.is_certain_bruteforce(&db));
+    println!(
+        "\nCERTAINTY(AC(3)) via the Theorem 4 graph algorithm: {}",
+        solver.is_certain(&db)
+    );
+    println!(
+        "CERTAINTY(AC(3)) via brute force over 8 repairs:      {}",
+        oracle.is_certain_bruteforce(&db)
+    );
 
     println!("\nfalsifying repairs (Figure 7 exhibits two):");
     for (i, repair) in db.repairs().enumerate() {
-        if !eval::satisfies(&repair, &ac3) {
+        if !eval::naive::satisfies(&repair, &ac3) {
             println!("--- falsifying repair #{} ---", i + 1);
             print!("{repair}");
         }
@@ -34,7 +44,10 @@ fn main() {
     for (r, a, b) in [("R1", "a", "b"), ("R2", "b", "c"), ("R3", "c", "a")] {
         forced.insert_values(r, [a, b]).unwrap();
     }
-    println!("\nC(3) on a single forced triangle: certain = {}", c_solver.is_certain(&forced));
+    println!(
+        "\nC(3) on a single forced triangle: certain = {}",
+        c_solver.is_certain(&forced)
+    );
 
     // Scale up: a few hundred constants per layer stay well below a second.
     for n in [50usize, 200] {

@@ -47,11 +47,9 @@ fn main() {
 
     // Classify the Boolean core of the query (same atoms, no free variables):
     // this is the problem each candidate tuple's certainty check solves.
-    let boolean_core = cqa::query::ConjunctiveQuery::boolean(
-        query.schema().clone(),
-        query.atoms().to_vec(),
-    )
-    .expect("same atoms, no free variables");
+    let boolean_core =
+        cqa::query::ConjunctiveQuery::boolean(query.schema().clone(), query.atoms().to_vec())
+            .expect("same atoms, no free variables");
     println!(
         "classification of the Boolean core: {}",
         classify(&boolean_core).unwrap().class
@@ -60,11 +58,25 @@ fn main() {
     let answers = certain_answers(query, &doc.database).expect("self-join-free query");
     println!("\npossible answers (true in SOME repair):");
     for tuple in &answers.possible {
-        println!("  {}", tuple.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
+        println!(
+            "  {}",
+            tuple
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
     }
     println!("certain answers (true in EVERY repair):");
     for tuple in &answers.certain {
-        println!("  {}", tuple.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
+        println!(
+            "  {}",
+            tuple
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
     }
     println!(
         "\n{} of {} possible answers survive the certainty filter.",

@@ -41,7 +41,10 @@ fn main() {
     let c = db.schema().relation_id("C").unwrap();
     let r = db.schema().relation_id("R").unwrap();
     let fact = |rel, values: &[&str]| {
-        cqa_data::Fact::new(rel, values.iter().map(|v| cqa_data::Value::str(v)).collect::<Vec<_>>())
+        cqa_data::Fact::new(
+            rel,
+            values.iter().map(cqa_data::Value::str).collect::<Vec<_>>(),
+        )
     };
     let weighted = BidDatabase::new(
         db.clone(),
@@ -67,9 +70,17 @@ fn main() {
     // sampler still work (Theorem 5 says no polynomial exact algorithm exists
     // unless FP = ♯P).
     let unsafe_query = catalog::fo_path2().query;
-    println!("\nunsafe query {unsafe_query}: IsSafe = {}", is_safe(&unsafe_query));
+    println!(
+        "\nunsafe query {unsafe_query}: IsSafe = {}",
+        is_safe(&unsafe_query)
+    );
     let mut small = cqa_data::UncertainDatabase::new(unsafe_query.schema().clone());
-    for (rel, a, b) in [("R", "a", "b"), ("R", "a", "b2"), ("S", "b", "t"), ("S", "b2", "t")] {
+    for (rel, a, b) in [
+        ("R", "a", "b"),
+        ("R", "a", "b2"),
+        ("S", "b", "t"),
+        ("S", "b2", "t"),
+    ] {
         small.insert_values(rel, [a, b]).unwrap();
     }
     let bid = BidDatabase::uniform_over_repairs(&small);

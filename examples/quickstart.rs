@@ -32,13 +32,20 @@ fn main() {
     for (conf, rank) in [("PODS", "A"), ("KDD", "A"), ("KDD", "B")] {
         db.insert_values("R", [conf, rank]).unwrap();
     }
-    println!("uncertain database ({} facts, {} blocks, {} repairs):",
-        db.fact_count(), db.block_count(), db.repair_count().unwrap());
+    println!(
+        "uncertain database ({} facts, {} blocks, {} repairs):",
+        db.fact_count(),
+        db.block_count(),
+        db.repair_count().unwrap()
+    );
     print!("{db}");
 
     // The Boolean query ∃x∃y (C(x, y, 'Rome') ∧ R(x, 'A')).
     let query = ConjunctiveQuery::builder(schema)
-        .atom("C", [Term::var("x"), Term::var("y"), Term::constant("Rome")])
+        .atom(
+            "C",
+            [Term::var("x"), Term::var("y"), Term::constant("Rome")],
+        )
         .atom("R", [Term::var("x"), Term::constant("A")])
         .build()
         .unwrap();

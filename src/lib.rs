@@ -32,7 +32,9 @@ pub use cqa_query as query;
 /// Commonly used items, importable with `use cqa::prelude::*;`.
 pub mod prelude {
     pub use cqa_core::{
-        answers::certain_answers, classify::{classify, ComplexityClass}, solvers::CertaintyEngine,
+        answers::certain_answers,
+        classify::{classify, ComplexityClass},
+        solvers::CertaintyEngine,
         AttackGraph,
     };
     pub use cqa_data::{Fact, Schema, UncertainDatabase, Value};

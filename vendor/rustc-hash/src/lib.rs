@@ -1,0 +1,128 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides the same public surface the workspace uses — [`FxHashMap`],
+//! [`FxHashSet`] and [`FxHasher`] — backed by a fast non-cryptographic
+//! multiply-xor hasher in the spirit of the original Fx hash (word-at-a-time
+//! multiply by a large odd constant). It is not byte-for-byte compatible
+//! with the upstream hasher; nothing in the workspace depends on the exact
+//! hash values, only on speed and determinism within a process.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A hash map using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A hash set using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// The default build-hasher for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A fast, deterministic, non-cryptographic hasher.
+///
+/// Mixes each input word by xor followed by a multiplication with a large
+/// odd constant (derived from the golden ratio), then a rotate to spread
+/// entropy into the low bits used by the table index.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" ++ "" and "a" ++ "b" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche so sequential keys do not collide in the low bits.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^= h >> 32;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let h = |x: &str| bh.hash_one(x);
+        assert_eq!(h("hello"), h("hello"));
+        assert_ne!(h("hello"), h("world"));
+        assert_ne!(h("ab"), h("ba"));
+    }
+}
