@@ -1,0 +1,206 @@
+//! Interpreted vs compiled evaluation, measured on `cqa-gen` workloads and
+//! recorded in `BENCH_exec.json` at the workspace root.
+//!
+//! Two comparisons per workload:
+//!
+//! * **query satisfaction** — the tree-walking indexed join of
+//!   `cqa_query::eval::satisfies` vs the compiled `cqa_exec::QueryPlan`
+//!   (plan compiled once, prepared per snapshot);
+//! * **certain rewriting** — the Theorem 1 rewriting `φ_q` evaluated by the
+//!   generic model checker `cqa_core::fo::eval::evaluate_sentence` vs the
+//!   compiled `cqa_exec::FoPlan` with its block-quantified ∀ operators.
+//!
+//! The headline acceptance number is the rewriting comparison on the
+//! `path3` workload (a ≥ 10k-fact generator instance): the interpreter
+//! sweeps active-domain assignments for every universal block, the compiled
+//! plan walks the block's fact list.
+//!
+//! Run with `cargo run --release -p cqa-bench --bin bench_exec`
+//! (`--quick` shrinks the instances for CI smoke runs).
+
+use cqa_bench::scaled_instance;
+use cqa_core::fo::eval::evaluate_sentence;
+use cqa_core::fo::{certain_rewriting, FoFormula};
+use cqa_data::UncertainDatabase;
+use cqa_exec::{FoPlan, QueryPlan};
+use cqa_query::{catalog, eval, ConjunctiveQuery};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Runs per timed measurement for the (fast) compiled side.
+const COMPILED_RUNS: usize = 10;
+/// Runs for the interpreted side (slow on the large workloads).
+const INTERPRETED_RUNS: usize = 2;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn time_min<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+struct Comparison {
+    interpreted: Duration,
+    compiled: Duration,
+    compile_time: Duration,
+    verdict: bool,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.interpreted.as_secs_f64() / self.compiled.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{ \"interpreted_ms\": {:.3}, \"compiled_ms\": {:.3}, \"compile_once_ms\": {:.3}, \"speedup\": {:.1}, \"verdict\": {} }}",
+            self.interpreted.as_secs_f64() * 1e3,
+            self.compiled.as_secs_f64() * 1e3,
+            self.compile_time.as_secs_f64() * 1e3,
+            self.speedup(),
+            self.verdict,
+        )
+    }
+}
+
+/// Query satisfaction: interpreter (`cqa_query::eval`) vs compiled plan.
+fn compare_satisfaction(db: &UncertainDatabase, query: &ConjunctiveQuery) -> Comparison {
+    let index = db.index();
+    let compile_start = Instant::now();
+    let plan = QueryPlan::compile(query, Some(index.statistics()));
+    let compile_time = compile_start.elapsed();
+    let verdict = plan.prepare(&index).satisfies();
+    assert_eq!(
+        verdict,
+        eval::satisfies(db, query),
+        "compiled and interpreted satisfaction disagree on {query}"
+    );
+    let interpreted = time_min(INTERPRETED_RUNS, || eval::satisfies(db, query));
+    let compiled = time_min(COMPILED_RUNS, || plan.prepare(&index).satisfies());
+    Comparison {
+        interpreted,
+        compiled,
+        compile_time,
+        verdict,
+    }
+}
+
+/// Certain rewriting: FO model checker vs compiled plan.
+fn compare_rewriting(
+    db: &UncertainDatabase,
+    query: &ConjunctiveQuery,
+    formula: &FoFormula,
+) -> Comparison {
+    let index = db.index();
+    let compile_start = Instant::now();
+    let plan = FoPlan::compile(formula, query.schema(), Some(index.statistics()));
+    let compile_time = compile_start.elapsed();
+    let verdict = plan.prepare(&index).eval();
+    assert_eq!(
+        verdict,
+        evaluate_sentence(formula, db),
+        "compiled and interpreted rewriting evaluation disagree on {query}"
+    );
+    let interpreted = time_min(INTERPRETED_RUNS, || evaluate_sentence(formula, db));
+    let compiled = time_min(COMPILED_RUNS, || plan.prepare(&index).eval());
+    Comparison {
+        interpreted,
+        compiled,
+        compile_time,
+        verdict,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // `path3` is the acceptance workload: a Theorem 1 query whose generator
+    // instance exceeds 10k facts at n = 2200 (~13k facts).
+    let workloads: Vec<(&str, ConjunctiveQuery, usize, u64)> = vec![
+        (
+            "path3",
+            catalog::fo_path3().query,
+            if quick { 300 } else { 2200 },
+            11,
+        ),
+        (
+            "conference",
+            catalog::conference().query,
+            if quick { 400 } else { 2600 },
+            13,
+        ),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, query, n, seed) in workloads {
+        let db = scaled_instance(&query, n, seed);
+        let formula = certain_rewriting(&query).expect("workload queries are Theorem 1 queries");
+        eprintln!(
+            "workload {name}: {} atoms, {} facts, {} blocks, rewriting size {}",
+            query.len(),
+            db.fact_count(),
+            db.block_count(),
+            formula.size(),
+        );
+
+        let sat = compare_satisfaction(&db, &query);
+        eprintln!(
+            "  satisfies   interpreted {:9.3} ms   compiled {:9.3} ms ({:>8.1}x)   [compile {:.3} ms]",
+            sat.interpreted.as_secs_f64() * 1e3,
+            sat.compiled.as_secs_f64() * 1e3,
+            sat.speedup(),
+            sat.compile_time.as_secs_f64() * 1e3,
+        );
+
+        let rewriting = compare_rewriting(&db, &query, &formula);
+        eprintln!(
+            "  rewriting   interpreted {:9.3} ms   compiled {:9.3} ms ({:>8.1}x)   [compile {:.3} ms, certain = {}]",
+            rewriting.interpreted.as_secs_f64() * 1e3,
+            rewriting.compiled.as_secs_f64() * 1e3,
+            rewriting.speedup(),
+            rewriting.compile_time.as_secs_f64() * 1e3,
+            rewriting.verdict,
+        );
+
+        let mut entry = String::new();
+        write!(
+            entry,
+            "    {{\n      \"name\": \"{name}\",\n      \"query\": \"{}\",\n      \"atoms\": {},\n      \"facts\": {},\n      \"blocks\": {},\n      \"rewriting_size\": {},\n      \"satisfies\": {},\n      \"certain_rewriting\": {}\n    }}",
+            json_escape(&query.to_string()),
+            query.len(),
+            db.fact_count(),
+            db.block_count(),
+            formula.size(),
+            sat.to_json(),
+            rewriting.to_json(),
+        )
+        .expect("writing to a String cannot fail");
+        entries.push(entry);
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"interpreted (tree-walking) vs compiled (physical-plan) evaluation\",\n  \"generated_by\": \"cargo run --release -p cqa-bench --bin bench_exec\",\n  \"quick\": {quick},\n  \"times\": \"minimum over {INTERPRETED_RUNS} interpreted / {COMPILED_RUNS} compiled runs; plans compiled once, prepared per snapshot\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json");
+    std::fs::write(&out, &json).expect("write BENCH_exec.json");
+    eprintln!("wrote {}", out.display());
+    print!("{json}");
+}

@@ -6,6 +6,7 @@
 //! certainty certain <file.cqa> [--query=N]   decide CERTAINTY for the document's queries
 //! certainty answers <file.cqa>               certain + possible answers (non-Boolean queries)
 //! certainty rewrite <file.cqa> [--sql]       print the certain FO rewriting (and SQL)
+//! certainty explain <file.cqa>               print the compiled physical plans (query + rewriting)
 //! certainty probability <file.cqa>           Pr(q) under the uniform-repair distribution
 //! certainty repairs <file.cqa>               list/count repairs of the database
 //! certainty attack-graph <file.cqa> [--dot]  print the attack graph (optionally as DOT)
@@ -19,12 +20,13 @@ use cqa_core::classify::classify;
 use cqa_core::fo::{certain_rewriting, sql::to_sql};
 use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
 use cqa_core::AttackGraph;
+use cqa_exec::{FoPlan, QueryPlan};
 use cqa_parser::{dot, parse_document, Document};
 use cqa_prob::eval::probability_over_repairs;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: certainty <classify|certain|answers|rewrite|probability|repairs|attack-graph> <file> [--sql] [--dot] [--query=NAME]"
+    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph> <file> [--sql] [--dot] [--query=NAME]"
 }
 
 fn load(path: &str) -> Result<Document, String> {
@@ -108,6 +110,31 @@ fn run() -> Result<(), String> {
                         }
                     }
                     Err(e) => println!("{name}: no certain first-order rewriting ({e})"),
+                }
+            }
+        }
+        "explain" => {
+            let index = doc.database.index();
+            let stats = index.statistics();
+            for (name, query) in &selected {
+                println!(
+                    "{name}: physical plan over {} facts / {} blocks",
+                    doc.database.fact_count(),
+                    doc.database.block_count()
+                );
+                let plan = QueryPlan::compile(query, Some(stats));
+                print!("{}", plan.explain());
+                if query.is_boolean() {
+                    match certain_rewriting(query) {
+                        Ok(formula) => {
+                            let fo = FoPlan::compile(&formula, query.schema(), Some(stats));
+                            println!("{name}: certain rewriting plan (Theorem 1)");
+                            print!("{}", fo.explain());
+                        }
+                        Err(e) => println!("{name}: no certain first-order rewriting ({e})"),
+                    }
+                } else {
+                    println!("{name}: non-Boolean query, rewriting plans apply per answer tuple");
                 }
             }
         }

@@ -12,8 +12,18 @@
 
 use crate::solvers::{CertaintyEngine, CertaintySolver};
 use cqa_data::{UncertainDatabase, Value};
-use cqa_query::{eval, substitute, ConjunctiveQuery, QueryError};
+use cqa_exec::PlanCache;
+use cqa_query::{substitute, ConjunctiveQuery, QueryError};
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+/// Process-wide memo of compiled satisfaction plans: repeated
+/// `certain_answers` calls for the same `(schema, query)` — a CLI loop, a
+/// service answering the same query against evolving data — compile once.
+fn plan_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(PlanCache::new)
+}
 
 /// The certain answers (and, for context, the possible answers) of a query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,7 +45,12 @@ pub fn certain_answers(
     db: &UncertainDatabase,
 ) -> Result<AnswerSets, QueryError> {
     query.require_self_join_free()?;
-    let possible = eval::answers(db, query);
+    // Possible answers through the compiled join plan (`cqa_query::eval`
+    // remains the reference; the property suite keeps them identical).
+    let index = db.index();
+    let possible = plan_cache()
+        .plan(query, Some(index.statistics()))
+        .answers(db);
     let free = query.free_vars().to_vec();
     let mut certain = BTreeSet::new();
     for tuple in &possible {

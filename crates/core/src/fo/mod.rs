@@ -16,9 +16,12 @@
 //!   on top of an ordinary RDBMS.
 
 pub mod eval;
-pub mod formula;
 pub mod rewrite;
 pub mod sql;
 
-pub use formula::FoFormula;
+/// The formula AST, re-exported under its historical path (it moved to
+/// `cqa-query` so that `cqa-exec` can compile formulas into physical plans
+/// without depending on this crate).
+pub use cqa_query::fo_formula as formula;
+pub use cqa_query::fo_formula::FoFormula;
 pub use rewrite::certain_rewriting;

@@ -26,7 +26,9 @@ pub use two_atom::TwoAtomSolver;
 
 use crate::classify::{classify, Classification, ComplexityClass, PtimeReason};
 use cqa_data::UncertainDatabase;
+use cqa_exec::QueryPlan;
 use cqa_query::{ConjunctiveQuery, QueryError};
+use std::sync::OnceLock;
 
 /// A decision procedure for `CERTAINTY(q)` with the query fixed at
 /// construction time (the paper studies data complexity: the query is not
@@ -40,12 +42,23 @@ pub trait CertaintySolver {
 
     /// True iff **every repair** of `db` satisfies the query.
     fn is_certain(&self, db: &UncertainDatabase) -> bool;
+
+    /// The compiled physical plan the solver executes, rendered for
+    /// `explain` output — `None` for solvers that do not compile one.
+    fn explain_plan(&self, _db: &UncertainDatabase) -> Option<String> {
+        None
+    }
 }
 
 /// The automatic solver: classifies the query and picks the best algorithm.
+///
+/// The engine also owns the compiled satisfaction plan of the query (the
+/// [`QueryPlan`] deciding `db |= q`, which is the "possible" side of
+/// certainty by monotonicity), compiled once on first use and cached.
 pub struct CertaintyEngine {
     classification: Classification,
     solver: Box<dyn CertaintySolver + Send + Sync>,
+    satisfaction_plan: OnceLock<QueryPlan>,
 }
 
 impl CertaintyEngine {
@@ -68,6 +81,7 @@ impl CertaintyEngine {
         Ok(CertaintyEngine {
             classification,
             solver,
+            satisfaction_plan: OnceLock::new(),
         })
     }
 
@@ -79,6 +93,38 @@ impl CertaintyEngine {
     /// The name of the solver the engine dispatched to.
     pub fn solver_name(&self) -> &'static str {
         self.solver.name()
+    }
+
+    /// The compiled join plan deciding `db |= q`, compiled on first use
+    /// (with `db`'s statistics) and cached on the engine.
+    pub fn satisfaction_plan(&self, db: &UncertainDatabase) -> &QueryPlan {
+        self.satisfaction_plan.get_or_init(|| {
+            let index = db.index();
+            QueryPlan::compile(self.solver.query(), Some(index.statistics()))
+        })
+    }
+
+    /// True iff the query holds in **some** repair — equivalently, on `db`
+    /// itself (conjunctive queries are monotone) — decided by the compiled
+    /// satisfaction plan.
+    pub fn is_possible(&self, db: &UncertainDatabase) -> bool {
+        self.satisfaction_plan(db).satisfies(db)
+    }
+
+    /// Renders the compiled physical plans for the query: the satisfaction
+    /// join plan, plus the solver's own plan (for the Theorem 1 region, the
+    /// compiled certain rewriting).
+    pub fn explain(&self, db: &UncertainDatabase) -> String {
+        let mut out = format!(
+            "satisfaction plan (db |= q), solver `{}`:\n{}",
+            self.solver_name(),
+            self.satisfaction_plan(db).explain()
+        );
+        if let Some(plan) = self.solver.explain_plan(db) {
+            out.push_str("certain rewriting plan (CERTAINTY(q)):\n");
+            out.push_str(&plan);
+        }
+        out
     }
 }
 
@@ -115,6 +161,31 @@ mod tests {
             let engine = CertaintyEngine::new(&q).unwrap();
             assert_eq!(engine.solver_name(), expected, "{name}");
         }
+    }
+
+    #[test]
+    fn engine_compiles_and_explains_plans() {
+        let q = catalog::conference().query;
+        let engine = CertaintyEngine::new(&q).unwrap();
+        let db = catalog::conference_database();
+        // Possible but not certain (Figure 1).
+        assert!(engine.is_possible(&db));
+        assert!(!engine.is_certain(&db));
+        // The satisfaction plan is compiled once and cached.
+        assert!(std::ptr::eq(
+            engine.satisfaction_plan(&db),
+            engine.satisfaction_plan(&db)
+        ));
+        let explain = engine.explain(&db);
+        assert!(explain.contains("satisfaction plan"), "{explain}");
+        assert!(explain.contains("certain rewriting plan"), "{explain}");
+        assert!(explain.contains("∀-block"), "{explain}");
+        // A coNP-region query has no rewriting plan, but still explains.
+        let oracle_engine = CertaintyEngine::new(&catalog::q1().query).unwrap();
+        let q1_db = cqa_data::UncertainDatabase::new(catalog::q1().query.schema().clone());
+        let oracle_explain = oracle_engine.explain(&q1_db);
+        assert!(oracle_explain.contains("satisfaction plan"));
+        assert!(!oracle_explain.contains("certain rewriting plan"));
     }
 
     #[test]

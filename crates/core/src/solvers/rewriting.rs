@@ -14,17 +14,30 @@
 //! The same recursion, carried out symbolically, produces the explicit
 //! first-order formula in [`crate::fo::rewrite`].
 //!
+//! Since the rewriting is fixed once the query is, the solver **compiles**
+//! it: construction builds `φ_q`, the first `is_certain` call lowers it into
+//! a [`cqa_exec::FoPlan`] (using the statistics of the first database seen
+//! to pick guard atoms), and every later call executes the cached plan
+//! against the database's index snapshot. The direct recursion is retained
+//! as [`RewritingSolver::is_certain_interpreted`] — the reference semantics
+//! the compiled plan is property-tested against.
+//!
 //! The recursion step is also exposed as [`eliminate_unattacked_atom`] so the
 //! Theorem 3 solver can reuse it.
 
 use super::CertaintySolver;
 use crate::attack::AttackGraph;
+use crate::fo::{certain_rewriting, FoFormula};
 use cqa_data::{Block, UncertainDatabase, Value};
+use cqa_exec::FoPlan;
 use cqa_query::{substitute, AtomId, ConjunctiveQuery, QueryError, Term, Valuation};
+use std::sync::OnceLock;
 
 /// Certainty solver for queries whose attack graph is acyclic.
 pub struct RewritingSolver {
     query: ConjunctiveQuery,
+    formula: FoFormula,
+    plan: OnceLock<FoPlan>,
 }
 
 impl RewritingSolver {
@@ -32,18 +45,43 @@ impl RewritingSolver {
     /// free, is cyclic, or its attack graph has a cycle (in which case no
     /// certain first-order rewriting exists, by Theorem 1).
     pub fn new(query: &ConjunctiveQuery) -> Result<Self, QueryError> {
-        query.require_boolean()?;
-        query.require_self_join_free()?;
-        let graph = AttackGraph::build(query)?;
-        if !graph.is_acyclic() {
-            // Reuse CyclicQuery as "no rewriting exists" signal would be
-            // misleading; the attack graph existing but being cyclic is a
-            // different condition, reported as such.
-            return Err(QueryError::CyclicQuery);
-        }
+        // `certain_rewriting` performs the full precondition ladder (Boolean,
+        // self-join free, acyclic, acyclic attack graph); its `Unsupported`
+        // error is produced exactly for a cyclic attack graph, which this
+        // solver has always reported as `CyclicQuery`.
+        let formula = match certain_rewriting(query) {
+            Ok(formula) => formula,
+            Err(QueryError::Unsupported { .. }) => return Err(QueryError::CyclicQuery),
+            Err(other) => return Err(other),
+        };
         Ok(RewritingSolver {
             query: query.clone(),
+            formula,
+            plan: OnceLock::new(),
         })
+    }
+
+    /// The certain first-order rewriting `φ_q` this solver evaluates.
+    pub fn formula(&self) -> &FoFormula {
+        &self.formula
+    }
+
+    /// The compiled physical plan of the rewriting, compiled on first use
+    /// (`db` supplies the statistics that pick guard atoms and columns) and
+    /// cached for the lifetime of the solver.
+    pub fn plan(&self, db: &UncertainDatabase) -> &FoPlan {
+        self.plan.get_or_init(|| {
+            let index = db.index();
+            FoPlan::compile(&self.formula, self.query.schema(), Some(index.statistics()))
+        })
+    }
+
+    /// The reference implementation: the unattacked-atom elimination
+    /// recursion, interpreted directly on the database. The compiled plan
+    /// must stay observationally identical to this (and to the generic
+    /// model checker on `φ_q`); `tests/properties.rs` enforces it.
+    pub fn is_certain_interpreted(&self, db: &UncertainDatabase) -> bool {
+        Self::certain(&self.query, db)
     }
 
     fn certain(query: &ConjunctiveQuery, db: &UncertainDatabase) -> bool {
@@ -129,7 +167,11 @@ impl CertaintySolver for RewritingSolver {
     }
 
     fn is_certain(&self, db: &UncertainDatabase) -> bool {
-        Self::certain(&self.query, db)
+        self.plan(db).eval(db)
+    }
+
+    fn explain_plan(&self, db: &UncertainDatabase) -> Option<String> {
+        Some(self.plan(db).explain())
     }
 }
 
@@ -271,6 +313,53 @@ mod tests {
         let oracle = ExactOracle::new(&q).unwrap();
         assert_eq!(solver.is_certain(&db), oracle.is_certain_bruteforce(&db));
         assert!(!solver.is_certain(&db));
+    }
+
+    #[test]
+    fn compiled_plan_agrees_with_the_interpreted_recursion() {
+        let q = catalog::fo_path2().query;
+        let solver = RewritingSolver::new(&q).unwrap();
+        let schema = q.schema().clone();
+        for seed in 0u64..40 {
+            let mut db = UncertainDatabase::new(schema.clone());
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x5EED;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as usize
+            };
+            for _ in 0..5 {
+                db.insert_values(
+                    "R",
+                    [format!("a{}", next() % 3), format!("b{}", next() % 3)],
+                )
+                .unwrap();
+                db.insert_values(
+                    "S",
+                    [format!("b{}", next() % 3), format!("c{}", next() % 2)],
+                )
+                .unwrap();
+            }
+            assert_eq!(
+                solver.is_certain(&db),
+                solver.is_certain_interpreted(&db),
+                "seed {seed}\n{}\n{db}",
+                solver.plan(&db).explain()
+            );
+        }
+    }
+
+    #[test]
+    fn the_compiled_plan_uses_block_quantified_operators() {
+        let q = catalog::conference().query;
+        let solver = RewritingSolver::new(&q).unwrap();
+        let db = catalog::conference_database();
+        let explain = solver.plan(&db).explain();
+        assert!(explain.contains("∃-scan"), "{explain}");
+        assert!(explain.contains("∀-block"), "{explain}");
+        // The plan is compiled once and reused.
+        assert!(std::ptr::eq(solver.plan(&db), solver.plan(&db)));
     }
 
     #[test]

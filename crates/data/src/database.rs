@@ -4,7 +4,7 @@ use crate::index::DatabaseIndex;
 use crate::{Block, BlockId, DataError, Fact, FxHashMap, RelationId, RepairIter, Schema, Value};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// An **uncertain database**: a finite set of facts over a fixed schema in
 /// which primary keys need not be satisfied (Section 3 of the paper).
@@ -37,20 +37,29 @@ pub struct UncertainDatabase {
     index: FxHashMap<(RelationId, Vec<Value>), usize>,
     fact_count: usize,
     /// Cached secondary-index snapshot; rebuilt lazily after mutations.
-    index_cache: Mutex<Option<Arc<DatabaseIndex>>>,
+    ///
+    /// An `RwLock` rather than a `Mutex`: concurrent readers of a warm cache
+    /// never contend, and every access recovers from poisoning (the cached
+    /// value is an `Option<Arc>` — always consistent — so a reader that
+    /// panicked while holding the lock must not wedge later calls).
+    index_cache: RwLock<Option<Arc<DatabaseIndex>>>,
 }
 
 impl Clone for UncertainDatabase {
     fn clone(&self) -> Self {
         // The clone has identical contents, so it can share the cached
         // snapshot; each copy's own mutations invalidate only its own cache.
-        let cached = self.index_cache.lock().expect("index cache lock").clone();
+        let cached = self
+            .index_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
         UncertainDatabase {
             schema: self.schema.clone(),
             blocks: self.blocks.clone(),
             index: self.index.clone(),
             fact_count: self.fact_count,
-            index_cache: Mutex::new(cached),
+            index_cache: RwLock::new(cached),
         }
     }
 }
@@ -63,7 +72,7 @@ impl UncertainDatabase {
             blocks: Vec::new(),
             index: FxHashMap::default(),
             fact_count: 0,
-            index_cache: Mutex::new(None),
+            index_cache: RwLock::new(None),
         }
     }
 
@@ -71,11 +80,23 @@ impl UncertainDatabase {
     /// [`DatabaseIndex`]), built on first use and cached until the next
     /// mutation.
     pub fn index(&self) -> Arc<DatabaseIndex> {
-        let mut cache = self.index_cache.lock().expect("index cache lock");
+        if let Some(snapshot) = &*self
+            .index_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return snapshot.clone();
+        }
+        // Build outside any lock; concurrent builders race harmlessly (the
+        // first write wins and later builds produce an identical snapshot).
+        let snapshot = Arc::new(DatabaseIndex::build(self));
+        let mut cache = self
+            .index_cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         match &*cache {
-            Some(snapshot) => snapshot.clone(),
+            Some(existing) => existing.clone(),
             None => {
-                let snapshot = Arc::new(DatabaseIndex::build(self));
                 *cache = Some(snapshot.clone());
                 snapshot
             }
@@ -84,7 +105,10 @@ impl UncertainDatabase {
 
     /// Drops the cached index snapshot; called by every mutating method.
     fn invalidate_index(&mut self) {
-        *self.index_cache.get_mut().expect("index cache lock") = None;
+        *self
+            .index_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// Builds a database from an iterator of facts.
@@ -562,6 +586,20 @@ mod tests {
         let repairs: Vec<_> = db.repairs().collect();
         assert_eq!(repairs.len(), 1);
         assert!(repairs[0].is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_index_snapshot() {
+        let db = figure1();
+        let snapshots: Vec<Arc<DatabaseIndex>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| db.index())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Everyone observes the same facts; at most one build won the race,
+        // and the cache serves that snapshot from then on.
+        assert!(snapshots.iter().all(|s| s.fact_count() == 6));
+        let cached = db.index();
+        assert!(snapshots.iter().any(|s| Arc::ptr_eq(s, &cached)));
     }
 
     #[test]

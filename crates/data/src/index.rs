@@ -22,9 +22,9 @@
 //! invalidated by any mutation, so repeated evaluations against the same
 //! database pay the build cost once.
 
-use crate::{Block, BlockId, Fact, FxHashMap, RelationId, UncertainDatabase, Value};
+use crate::{Block, BlockId, Fact, FxHashMap, FxHashSet, RelationId, UncertainDatabase, Value};
 use std::fmt;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Dense id of a fact inside one [`DatabaseIndex`] snapshot.
 ///
@@ -186,6 +186,62 @@ impl PositionIndex {
     }
 }
 
+/// Per-relation summary statistics of one [`DatabaseIndex`] snapshot.
+///
+/// These feed the cost model of the `cqa-exec` physical planner: the number
+/// of facts bounds the output of a full scan, and the distinct counts per
+/// position estimate the selectivity of an index probe on that position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationStatistics {
+    fact_count: usize,
+    block_count: usize,
+    distinct: Vec<usize>,
+}
+
+impl RelationStatistics {
+    /// Number of facts of the relation.
+    pub fn fact_count(&self) -> usize {
+        self.fact_count
+    }
+
+    /// Number of blocks (distinct keys) of the relation.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// Number of distinct values at one attribute position (`None` when the
+    /// position is out of range for the relation's arity).
+    pub fn distinct_count(&self, position: usize) -> Option<usize> {
+        self.distinct.get(position).copied()
+    }
+
+    /// Distinct counts for every position, in position order.
+    pub fn distinct_counts(&self) -> &[usize] {
+        &self.distinct
+    }
+}
+
+/// Snapshot-wide statistics: one [`RelationStatistics`] per relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Statistics {
+    relations: Vec<RelationStatistics>,
+}
+
+impl Statistics {
+    /// The statistics of one relation.
+    pub fn relation(&self, relation: RelationId) -> &RelationStatistics {
+        &self.relations[relation.index()]
+    }
+
+    /// Iterates over `(RelationId, &RelationStatistics)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelationId, &RelationStatistics)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelationId::from_index(i), s))
+    }
+}
+
 /// An immutable index snapshot of an [`UncertainDatabase`].
 ///
 /// Obtained from [`UncertainDatabase::index`]; see the module documentation.
@@ -194,7 +250,9 @@ pub struct DatabaseIndex {
     fact_blocks: Vec<u32>,
     by_relation: Vec<Vec<u32>>,
     blocks_by_relation: Vec<Vec<u32>>,
+    arities: Vec<usize>,
     active_domain: OnceLock<Arc<[Value]>>,
+    statistics: OnceLock<Statistics>,
     position_indexes: Mutex<FxHashMap<(RelationId, u64), Arc<PositionIndex>>>,
 }
 
@@ -219,7 +277,9 @@ impl DatabaseIndex {
             fact_blocks,
             by_relation,
             blocks_by_relation,
+            arities: db.schema().iter().map(|(_, r)| r.arity()).collect(),
             active_domain: OnceLock::new(),
+            statistics: OnceLock::new(),
             position_indexes: Mutex::new(FxHashMap::default()),
         }
     }
@@ -284,6 +344,38 @@ impl DatabaseIndex {
         })
     }
 
+    /// Per-relation statistics (cardinality, block count, distinct values
+    /// per position), computed once per snapshot and cached.
+    ///
+    /// These are the inputs of the `cqa-exec` cost model: they are exact for
+    /// the snapshot they were computed on and serve as *estimates* when a
+    /// plan compiled against one snapshot is executed against another.
+    pub fn statistics(&self) -> &Statistics {
+        self.statistics.get_or_init(|| {
+            let relations = self
+                .by_relation
+                .iter()
+                .enumerate()
+                .map(|(rel, fact_ids)| {
+                    let arity = self.arities[rel];
+                    let mut seen: Vec<FxHashSet<&Value>> = vec![FxHashSet::default(); arity];
+                    for &fid in fact_ids {
+                        let fact = &self.facts[fid as usize];
+                        for (pos, value) in fact.values().iter().enumerate() {
+                            seen[pos].insert(value);
+                        }
+                    }
+                    RelationStatistics {
+                        fact_count: fact_ids.len(),
+                        block_count: self.blocks_by_relation[rel].len(),
+                        distinct: seen.into_iter().map(|s| s.len()).collect(),
+                    }
+                })
+                .collect();
+            Statistics { relations }
+        })
+    }
+
     /// The hash index of `relation` on the given position subset, built on
     /// first use and cached for the lifetime of the snapshot.
     ///
@@ -296,13 +388,24 @@ impl DatabaseIndex {
         positions: PositionSet,
     ) -> Arc<PositionIndex> {
         let key = (relation, positions.0);
-        if let Some(existing) = self.position_indexes.lock().expect("index lock").get(&key) {
+        // The cache only ever grows and entries are immutable, so a panic in
+        // some other holder of the lock cannot leave it inconsistent —
+        // recover from poisoning instead of propagating it.
+        if let Some(existing) = self
+            .position_indexes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return existing.clone();
         }
         // Build outside the lock: concurrent builders may race, in which
         // case one result wins and the duplicates are dropped — harmless.
         let built = Arc::new(PositionIndex::build(self, relation, positions));
-        let mut cache = self.position_indexes.lock().expect("index lock");
+        let mut cache = self
+            .position_indexes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         cache.entry(key).or_insert(built).clone()
     }
 }
@@ -393,6 +496,25 @@ mod tests {
         let r = db.schema().relation_id("R").unwrap();
         let all = index.position_index(r, PositionSet::empty());
         assert_eq!(all.candidates(&[]).len(), 3);
+    }
+
+    #[test]
+    fn statistics_report_cardinalities_and_distinct_counts() {
+        let db = figure1();
+        let index = db.index();
+        let c = db.schema().relation_id("C").unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        let stats = index.statistics();
+        assert_eq!(stats.relation(c).fact_count(), 3);
+        assert_eq!(stats.relation(c).block_count(), 2);
+        // C columns: {PODS, KDD}, {2016, 2017}, {Rome, Paris}.
+        assert_eq!(stats.relation(c).distinct_counts(), &[2, 2, 2]);
+        assert_eq!(stats.relation(r).distinct_count(0), Some(2));
+        assert_eq!(stats.relation(r).distinct_count(1), Some(2));
+        assert_eq!(stats.relation(r).distinct_count(7), None);
+        assert_eq!(stats.iter().count(), 2);
+        // Served from the cache: same allocation on repeated calls.
+        assert!(std::ptr::eq(stats, index.statistics()));
     }
 
     #[test]

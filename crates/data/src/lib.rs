@@ -45,7 +45,9 @@ pub use block::{Block, BlockId};
 pub use database::UncertainDatabase;
 pub use error::DataError;
 pub use fact::Fact;
-pub use index::{DatabaseIndex, FactId, PositionIndex, PositionSet};
+pub use index::{
+    DatabaseIndex, FactId, PositionIndex, PositionSet, RelationStatistics, Statistics,
+};
 pub use repairs::{RepairIter, RepairSampler};
 pub use schema::{Relation, RelationId, Schema, Signature};
 pub use value::Value;

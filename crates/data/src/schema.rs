@@ -21,6 +21,11 @@ impl RelationId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Creates a relation id from a dense index (`0..schema.len()`).
+    pub fn from_index(i: usize) -> Self {
+        RelationId(i as u32)
+    }
 }
 
 impl fmt::Display for RelationId {

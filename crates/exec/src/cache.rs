@@ -1,0 +1,119 @@
+//! Memoization of compiled plans per `(schema, query)`.
+//!
+//! Plans depend only on the query text, the schema and (for ordering, not
+//! correctness) statistics, so a long-running service compiling each
+//! incoming query once amortizes planning across every later snapshot. The
+//! cache key is a structural fingerprint — relation signatures plus the
+//! query rendering — rather than a pointer, so schema clones hit the same
+//! entry and a dropped-and-reallocated schema cannot alias a stale one.
+
+use crate::QueryPlan;
+use cqa_data::Statistics;
+use cqa_query::ConjunctiveQuery;
+use rustc_hash::FxHashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// A thread-safe, poison-proof cache of compiled [`QueryPlan`]s.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: RwLock<FxHashMap<String, Arc<QueryPlan>>>,
+}
+
+/// The cache key: relation signatures followed by the query rendering.
+fn fingerprint(query: &ConjunctiveQuery) -> String {
+    let mut key = String::new();
+    for (_, relation) in query.schema().iter() {
+        let _ = write!(
+            key,
+            "{}[{},{}];",
+            relation.name,
+            relation.arity(),
+            relation.key_len()
+        );
+    }
+    let _ = write!(key, "|{query}");
+    key
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The compiled plan for `query`, compiling (with `stats` guiding the
+    /// join order) only on the first request for this `(schema, query)`.
+    pub fn plan(&self, query: &ConjunctiveQuery, stats: Option<&Statistics>) -> Arc<QueryPlan> {
+        let key = fingerprint(query);
+        if let Some(plan) = self
+            .plans
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            return plan.clone();
+        }
+        let compiled = Arc::new(QueryPlan::compile(query, stats));
+        self.plans
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(compiled)
+            .clone()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True iff no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan.
+    pub fn clear(&self) {
+        self.plans
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::catalog;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn identical_queries_share_one_plan() {
+        let cache = PlanCache::new();
+        let q = catalog::conference().query;
+        let a = cache.plan(&q, None);
+        let b = cache.plan(&q.clone(), None);
+        assert!(StdArc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let other = catalog::fo_path2().query;
+        let c = cache.plan(&other, None);
+        assert!(!StdArc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_plans_execute() {
+        let cache = PlanCache::new();
+        let q = catalog::conference().query;
+        let db = catalog::conference_database();
+        let index = db.index();
+        let plan = cache.plan(&q, Some(index.statistics()));
+        assert!(plan.satisfies(&db));
+    }
+}

@@ -1,0 +1,283 @@
+//! Shared physical-operator machinery: the register file and probe specs.
+//!
+//! Both plan kinds ([`crate::QueryPlan`] and [`crate::FoPlan`]) compile
+//! variables down to dense **slots** in a register file and atoms down to
+//! [`ProbeSpec`]s. A probe spec is the compile-time answer to the questions
+//! the interpreters re-derive on every call: *which positions of this atom
+//! are bound here* (they become the probe key of a
+//! [`cqa_data::PositionIndex`]), and *what to do with the remaining
+//! positions of each candidate fact* (bind a register, check a register,
+//! check a constant).
+
+use cqa_data::{DatabaseIndex, Fact, PositionIndex, PositionSet, RelationId, Value};
+use cqa_query::{Term, Variable};
+use std::sync::Arc;
+
+/// Dense register index of a compiled variable.
+pub(crate) type Slot = usize;
+
+/// The runtime register file: one optional [`Value`] per slot.
+pub(crate) struct Registers {
+    values: Vec<Option<Value>>,
+}
+
+impl Registers {
+    pub(crate) fn new(slots: usize) -> Self {
+        Registers {
+            values: vec![None; slots],
+        }
+    }
+
+    pub(crate) fn get(&self, slot: Slot) -> Option<&Value> {
+        self.values[slot].as_ref()
+    }
+
+    pub(crate) fn set(&mut self, slot: Slot, value: Value) {
+        self.values[slot] = Some(value);
+    }
+
+    pub(crate) fn clear(&mut self, slot: Slot) {
+        self.values[slot] = None;
+    }
+
+    /// Undoes the writes recorded in `writes` (newest first is irrelevant:
+    /// each recorded slot was `None` before) and truncates the log.
+    pub(crate) fn undo(&mut self, writes: &mut Vec<Slot>) {
+        for slot in writes.drain(..) {
+            self.values[slot] = None;
+        }
+    }
+}
+
+/// Where one component of a probe key comes from.
+#[derive(Clone, Debug)]
+pub(crate) enum KeySource {
+    /// A constant from the query/formula.
+    Const(Value),
+    /// The current value of a register (bound by an earlier operator or by
+    /// the caller's initial bindings).
+    Slot(Slot),
+}
+
+impl KeySource {
+    pub(crate) fn resolve(&self, regs: &Registers) -> Option<Value> {
+        match self {
+            KeySource::Const(c) => Some(c.clone()),
+            KeySource::Slot(s) => regs.get(*s).cloned(),
+        }
+    }
+}
+
+/// What to do with a candidate fact's value at one non-probed position.
+#[derive(Clone, Debug)]
+pub(crate) enum PosAction {
+    /// First occurrence of a variable: write the register (or, if the caller
+    /// pre-bound it, check it — `satisfies_with` base bindings).
+    Bind { pos: usize, slot: Slot },
+    /// Repeated occurrence of a bound variable (or a variable at a position
+    /// beyond the index's probe width): the value must equal the register.
+    CheckSlot { pos: usize, slot: Slot },
+    /// A constant at a position beyond the index's probe width.
+    CheckConst { pos: usize, value: Value },
+}
+
+/// A compiled atom access: relation, probed position subset, the recipe for
+/// the probe key, and the per-candidate actions for all other positions.
+#[derive(Clone, Debug)]
+pub(crate) struct ProbeSpec {
+    pub(crate) relation: RelationId,
+    pub(crate) positions: PositionSet,
+    pub(crate) key: Vec<KeySource>,
+    pub(crate) actions: Vec<PosAction>,
+    /// Index into the prepared plan's probe-handle table.
+    pub(crate) probe_id: usize,
+    /// Cost-model estimate of the number of candidates per probe (explain
+    /// output only; never consulted at execution time).
+    pub(crate) estimated_rows: f64,
+}
+
+/// How the spec builder should treat one variable occurrence.
+pub(crate) enum SlotState {
+    /// The variable is bound before this operator runs.
+    Bound(Slot),
+    /// The variable is free here; this operator's scan binds it.
+    Unbound(Slot),
+}
+
+impl ProbeSpec {
+    /// Compiles the access to one atom. `resolve` maps each variable to its
+    /// slot plus whether it is bound *before* this operator runs; positions
+    /// holding constants or bound variables (up to the index's probe width)
+    /// become the probe key, everything else becomes a per-candidate action.
+    pub(crate) fn build(
+        relation: RelationId,
+        terms: &[Term],
+        resolve: &mut dyn FnMut(&Variable) -> SlotState,
+        probe_id: usize,
+    ) -> ProbeSpec {
+        let mut positions = PositionSet::empty();
+        let mut key = Vec::new();
+        let mut actions = Vec::new();
+        let mut bound_here: Vec<Slot> = Vec::new();
+        for (pos, term) in terms.iter().enumerate() {
+            let probe_ok = pos < PositionSet::MAX_POSITIONS;
+            match term {
+                Term::Const(c) => {
+                    if probe_ok {
+                        positions.insert(pos);
+                        key.push(KeySource::Const(c.clone()));
+                    } else {
+                        actions.push(PosAction::CheckConst {
+                            pos,
+                            value: c.clone(),
+                        });
+                    }
+                }
+                Term::Var(v) => match resolve(v) {
+                    SlotState::Bound(slot) => {
+                        if probe_ok {
+                            positions.insert(pos);
+                            key.push(KeySource::Slot(slot));
+                        } else {
+                            actions.push(PosAction::CheckSlot { pos, slot });
+                        }
+                    }
+                    SlotState::Unbound(slot) => {
+                        if bound_here.contains(&slot) {
+                            actions.push(PosAction::CheckSlot { pos, slot });
+                        } else {
+                            bound_here.push(slot);
+                            actions.push(PosAction::Bind { pos, slot });
+                        }
+                    }
+                },
+            }
+        }
+        ProbeSpec {
+            relation,
+            positions,
+            key,
+            actions,
+            probe_id,
+            estimated_rows: 0.0,
+        }
+    }
+
+    /// The slots this spec's `Bind` actions write, in position order.
+    pub(crate) fn bound_slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.actions.iter().filter_map(|a| match a {
+            PosAction::Bind { slot, .. } => Some(*slot),
+            _ => None,
+        })
+    }
+
+    /// Resolves the candidate fact ids for the current registers: a hash
+    /// probe when positions are bound, the relation's full fact list
+    /// otherwise. `None` means some key register is unbound, i.e. *no*
+    /// candidate can match (the caller decides what that means — `false`
+    /// for an existential scan, vacuous truth for a block-∀).
+    pub(crate) fn candidates<'a>(
+        &self,
+        index: &'a DatabaseIndex,
+        handle: Option<&'a Arc<PositionIndex>>,
+        regs: &Registers,
+    ) -> Option<Candidates<'a>> {
+        match handle {
+            None => Some(Candidates::All(index.relation_fact_ids(self.relation))),
+            Some(pindex) => {
+                let key: Option<Vec<Value>> =
+                    self.key.iter().map(|src| src.resolve(regs)).collect();
+                Some(Candidates::Probe(pindex.candidates_shared(&key?)))
+            }
+        }
+    }
+
+    /// Applies the per-candidate actions to `fact`. Newly written slots are
+    /// recorded in `writes`; on a failed check the caller must
+    /// [`Registers::undo`] (the recorded prefix may already be written).
+    pub(crate) fn apply(&self, fact: &Fact, regs: &mut Registers, writes: &mut Vec<Slot>) -> bool {
+        for action in &self.actions {
+            match action {
+                PosAction::Bind { pos, slot } => {
+                    let value = fact.value(*pos);
+                    match regs.get(*slot) {
+                        Some(existing) => {
+                            if existing != value {
+                                return false;
+                            }
+                        }
+                        None => {
+                            regs.set(*slot, value.clone());
+                            writes.push(*slot);
+                        }
+                    }
+                }
+                PosAction::CheckSlot { pos, slot } => {
+                    if regs.get(*slot) != Some(fact.value(*pos)) {
+                        return false;
+                    }
+                }
+                PosAction::CheckConst { pos, value } => {
+                    if fact.value(*pos) != value {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders the access pattern for `explain` output, e.g.
+    /// `R('Rome', x, ↦y, =y)`: probed constants/registers, then `↦v` for a
+    /// binding position and `=v` for an equality check.
+    pub(crate) fn render(&self, schema: &cqa_data::Schema, slot_names: &[Variable]) -> String {
+        let relation = &schema.relation(self.relation).name;
+        let arity = schema.relation(self.relation).arity();
+        let mut parts: Vec<String> = vec![String::from("*"); arity];
+        let mut key_iter = self.key.iter();
+        for pos in self.positions.iter() {
+            if let Some(src) = key_iter.next() {
+                parts[pos] = match src {
+                    KeySource::Const(c) => format!("{c:?}"),
+                    KeySource::Slot(s) => slot_names[*s].to_string(),
+                };
+            }
+        }
+        for action in &self.actions {
+            match action {
+                PosAction::Bind { pos, slot } => {
+                    parts[*pos] = format!("↦{}", slot_names[*slot]);
+                }
+                PosAction::CheckSlot { pos, slot } => {
+                    parts[*pos] = format!("={}", slot_names[*slot]);
+                }
+                PosAction::CheckConst { pos, value } => {
+                    parts[*pos] = format!("={value:?}");
+                }
+            }
+        }
+        let access = if self.positions.is_empty() {
+            "scan"
+        } else {
+            "probe"
+        };
+        format!("{access} {relation}({})", parts.join(", "))
+    }
+}
+
+/// The candidate fact ids of one probe at one search node.
+pub(crate) enum Candidates<'a> {
+    /// Every fact of the relation (no position bound).
+    All(&'a [u32]),
+    /// The resolved bucket of a position index.
+    Probe(Arc<[u32]>),
+}
+
+impl Candidates<'_> {
+    pub(crate) fn ids(&self) -> &[u32] {
+        match self {
+            Candidates::All(ids) => ids,
+            Candidates::Probe(ids) => ids,
+        }
+    }
+}

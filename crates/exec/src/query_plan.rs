@@ -1,0 +1,429 @@
+//! Compiled join plans for conjunctive queries.
+//!
+//! [`QueryPlan::compile`] lowers a [`ConjunctiveQuery`] into a fixed
+//! sequence of probe steps over a register file. The join order is chosen
+//! **once**, greedily, by the cost model: at each step the atom with the
+//! smallest estimated candidate count given the already-bound variables is
+//! appended (the compile-time analogue of the interpreter's per-node
+//! fail-first choice). Execution is then a plain backtracking loop over the
+//! steps: probe, iterate the dense candidate ids, apply the per-position
+//! actions, descend — no ordering decisions, no valuation cloning.
+//!
+//! `cqa_query::eval` remains the reference semantics; the property suite
+//! checks observational equality on randomized instances.
+
+use crate::cost::CostModel;
+use crate::probe::{ProbeSpec, Registers, Slot, SlotState};
+use cqa_data::{
+    DatabaseIndex, FactId, PositionIndex, Schema, Statistics, UncertainDatabase, Value,
+};
+use cqa_query::{AtomId, ConjunctiveQuery, Valuation, Variable};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One join step: the atom it came from and its compiled access.
+struct Step {
+    atom: AtomId,
+    spec: ProbeSpec,
+}
+
+/// A compiled, immutable, shareable join plan for one conjunctive query.
+///
+/// Compile once per `(query, schema)`; [`QueryPlan::prepare`] binds the plan
+/// to a [`DatabaseIndex`] snapshot for execution.
+pub struct QueryPlan {
+    schema: Arc<Schema>,
+    steps: Vec<Step>,
+    slots: Vec<Variable>,
+    free_slots: Vec<Slot>,
+    probe_count: usize,
+}
+
+impl QueryPlan {
+    /// Compiles `query` into a physical join plan. Statistics (typically
+    /// [`DatabaseIndex::statistics`] of a representative snapshot) guide the
+    /// join order; without them, neutral defaults still order keyed probes
+    /// before full scans.
+    pub fn compile(query: &ConjunctiveQuery, stats: Option<&Statistics>) -> QueryPlan {
+        let cost = CostModel::new(stats);
+        // Dense slots by first occurrence, in atom order (deterministic and
+        // independent of the join order chosen below).
+        let mut slot_of: FxHashMap<Variable, Slot> = FxHashMap::default();
+        let mut slots: Vec<Variable> = Vec::new();
+        for atom in query.atoms() {
+            for v in atom.vars() {
+                slot_of.entry(v.clone()).or_insert_with(|| {
+                    slots.push(v.clone());
+                    slots.len() - 1
+                });
+            }
+        }
+        let mut bound = vec![false; slots.len()];
+        let mut remaining: Vec<AtomId> = (0..query.len()).collect();
+        let mut steps: Vec<Step> = Vec::with_capacity(query.len());
+        while !remaining.is_empty() {
+            // Greedy fail-first order: smallest estimated candidate count
+            // under the bindings established by the steps chosen so far.
+            let (pick, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, &aid)| {
+                    let atom = query.atom(aid);
+                    let probed = probed_positions(atom, &slot_of, &bound);
+                    (i, cost.estimate_rows(atom.relation(), probed))
+                })
+                .min_by(|(i, a), (j, b)| a.total_cmp(b).then(i.cmp(j)))
+                .expect("remaining is non-empty");
+            let aid = remaining.remove(pick);
+            let atom = query.atom(aid);
+            let mut spec = ProbeSpec::build(
+                atom.relation(),
+                atom.terms(),
+                &mut |v| {
+                    let slot = slot_of[v];
+                    if bound[slot] {
+                        SlotState::Bound(slot)
+                    } else {
+                        SlotState::Unbound(slot)
+                    }
+                },
+                steps.len(),
+            );
+            spec.estimated_rows = cost.estimate_rows(atom.relation(), spec.positions);
+            for v in atom.vars() {
+                bound[slot_of[&v]] = true;
+            }
+            steps.push(Step { atom: aid, spec });
+        }
+        let free_slots = query.free_vars().iter().map(|v| slot_of[v]).collect();
+        QueryPlan {
+            schema: query.schema().clone(),
+            probe_count: steps.len(),
+            steps,
+            slots,
+            free_slots,
+        }
+    }
+
+    /// Binds the plan to an index snapshot, resolving every probe handle, so
+    /// repeated executions against the snapshot skip the handle lookups.
+    pub fn prepare<'p>(&'p self, index: &Arc<DatabaseIndex>) -> PreparedQuery<'p> {
+        let mut handles: Vec<Option<Arc<PositionIndex>>> = Vec::with_capacity(self.probe_count);
+        for step in &self.steps {
+            handles.push(if step.spec.positions.is_empty() {
+                None
+            } else {
+                Some(index.position_index(step.spec.relation, step.spec.positions))
+            });
+        }
+        PreparedQuery {
+            plan: self,
+            index: index.clone(),
+            handles,
+        }
+    }
+
+    /// Convenience: `db |= q` through the compiled plan.
+    pub fn satisfies(&self, db: &UncertainDatabase) -> bool {
+        self.prepare(&db.index()).satisfies()
+    }
+
+    /// Convenience: satisfaction by a valuation extending `base`.
+    pub fn satisfies_with(&self, db: &UncertainDatabase, base: &Valuation) -> bool {
+        self.prepare(&db.index()).satisfies_with(base)
+    }
+
+    /// Convenience: all satisfying valuations over `vars(q)`.
+    pub fn all_valuations(&self, db: &UncertainDatabase) -> Vec<Valuation> {
+        self.prepare(&db.index()).all_valuations()
+    }
+
+    /// Convenience: the answer tuples for the query's free variables.
+    pub fn answers(&self, db: &UncertainDatabase) -> BTreeSet<Vec<Value>> {
+        self.prepare(&db.index()).answers()
+    }
+
+    /// Number of join steps (= atoms of the query).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff the plan has no steps (the empty query).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Renders the plan: one line per step with the access pattern (probed
+    /// key components, `↦v` bindings, `=v` checks) and the cost-model
+    /// estimate that ordered it.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        if self.steps.is_empty() {
+            out.push_str("  (empty query: always satisfied)\n");
+            return out;
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {}. {:<40} est ≈ {:.1} rows  [atom {}]",
+                i + 1,
+                step.spec.render(&self.schema, &self.slots),
+                step.spec.estimated_rows,
+                step.atom,
+            );
+        }
+        out
+    }
+}
+
+/// The positions of `atom` that a probe could use given `bound` slots.
+fn probed_positions(
+    atom: &cqa_query::Atom,
+    slot_of: &FxHashMap<Variable, Slot>,
+    bound: &[bool],
+) -> cqa_data::PositionSet {
+    cqa_data::PositionSet::from_positions(
+        atom.terms()
+            .iter()
+            .enumerate()
+            .take(cqa_data::PositionSet::MAX_POSITIONS)
+            .filter(|(_, t)| match t {
+                cqa_query::Term::Const(_) => true,
+                cqa_query::Term::Var(v) => bound[slot_of[v]],
+            })
+            .map(|(p, _)| p),
+    )
+}
+
+/// A [`QueryPlan`] resolved against one [`DatabaseIndex`] snapshot.
+pub struct PreparedQuery<'p> {
+    plan: &'p QueryPlan,
+    index: Arc<DatabaseIndex>,
+    handles: Vec<Option<Arc<PositionIndex>>>,
+}
+
+impl PreparedQuery<'_> {
+    /// True iff some valuation satisfies the query on the snapshot.
+    pub fn satisfies(&self) -> bool {
+        let mut regs = Registers::new(self.plan.slots.len());
+        self.run(&mut regs, &mut |_| true)
+    }
+
+    /// True iff some valuation *extending `base`* satisfies the query.
+    /// Bindings of variables that do not occur in the query are ignored,
+    /// exactly as in `cqa_query::eval::satisfies_with`.
+    pub fn satisfies_with(&self, base: &Valuation) -> bool {
+        let mut regs = Registers::new(self.plan.slots.len());
+        for (slot, var) in self.plan.slots.iter().enumerate() {
+            if let Some(value) = base.get(var) {
+                regs.set(slot, value.clone());
+            }
+        }
+        self.run(&mut regs, &mut |_| true)
+    }
+
+    /// All satisfying valuations over `vars(q)`.
+    pub fn all_valuations(&self) -> Vec<Valuation> {
+        let mut out = Vec::new();
+        let mut regs = Registers::new(self.plan.slots.len());
+        self.run(&mut regs, &mut |regs| {
+            out.push(Valuation::from_pairs(
+                self.plan
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, v)| regs.get(s).map(|value| (v.clone(), value.clone()))),
+            ));
+            false
+        });
+        out
+    }
+
+    /// The answer tuples: projections of the satisfying valuations onto the
+    /// query's free variables (the empty tuple for a satisfied Boolean
+    /// query).
+    pub fn answers(&self) -> BTreeSet<Vec<Value>> {
+        let mut out = BTreeSet::new();
+        let mut regs = Registers::new(self.plan.slots.len());
+        self.run(&mut regs, &mut |regs| {
+            let tuple: Option<Vec<Value>> = self
+                .plan
+                .free_slots
+                .iter()
+                .map(|&s| regs.get(s).cloned())
+                .collect();
+            if let Some(tuple) = tuple {
+                out.insert(tuple);
+            }
+            false
+        });
+        out
+    }
+
+    fn run(&self, regs: &mut Registers, on_match: &mut dyn FnMut(&Registers) -> bool) -> bool {
+        self.search(0, regs, on_match)
+    }
+
+    fn search(
+        &self,
+        depth: usize,
+        regs: &mut Registers,
+        on_match: &mut dyn FnMut(&Registers) -> bool,
+    ) -> bool {
+        let Some(step) = self.plan.steps.get(depth) else {
+            return on_match(regs);
+        };
+        let spec = &step.spec;
+        let Some(candidates) = spec.candidates(&self.index, self.handles[depth].as_ref(), regs)
+        else {
+            // A key register is unbound: impossible by construction (probe
+            // keys only use slots bound by earlier steps), kept as a safe
+            // "no candidates" answer.
+            return false;
+        };
+        let mut writes: Vec<Slot> = Vec::new();
+        let mut found = false;
+        for &fid in candidates.ids() {
+            regs.undo(&mut writes);
+            let fact = self.index.fact(FactId::from_index(fid as usize));
+            if spec.apply(fact, regs, &mut writes) && self.search(depth + 1, regs, on_match) {
+                found = true;
+                break;
+            }
+        }
+        regs.undo(&mut writes);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::{catalog, eval, Term};
+
+    #[test]
+    fn compiled_plan_matches_the_interpreter_on_figure1() {
+        let q = catalog::conference().query;
+        let db = catalog::conference_database();
+        let index = db.index();
+        let plan = QueryPlan::compile(&q, Some(index.statistics()));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.satisfies(&db), eval::satisfies(&db, &q));
+        let mut compiled: Vec<String> = plan
+            .all_valuations(&db)
+            .iter()
+            .map(|v| format!("{v:?}"))
+            .collect();
+        let mut reference: Vec<String> = eval::all_valuations(&db, &q)
+            .iter()
+            .map(|v| format!("{v:?}"))
+            .collect();
+        compiled.sort();
+        reference.sort();
+        assert_eq!(compiled, reference);
+    }
+
+    #[test]
+    fn base_bindings_constrain_the_search() {
+        let q = catalog::conference().query;
+        let db = catalog::conference_database();
+        let plan = QueryPlan::compile(&q, Some(db.index().statistics()));
+        let hit = Valuation::from_pairs([(Variable::new("x"), Value::str("KDD"))]);
+        let miss = Valuation::from_pairs([(Variable::new("x"), Value::str("ICML"))]);
+        assert!(plan.satisfies_with(&db, &hit));
+        assert!(!plan.satisfies_with(&db, &miss));
+        assert_eq!(
+            plan.satisfies_with(&db, &hit),
+            eval::satisfies_with(&db, &q, &hit)
+        );
+    }
+
+    #[test]
+    fn answers_project_free_variables() {
+        let schema = cqa_data::Schema::from_relations([("C", 3, 2), ("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let q = ConjunctiveQuery::builder(schema.clone())
+            .atom(
+                "C",
+                [Term::var("x"), Term::var("y"), Term::constant("Rome")],
+            )
+            .atom("R", [Term::var("x"), Term::constant("A")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap();
+        let db = catalog::conference_database();
+        let plan = QueryPlan::compile(&q, Some(db.index().statistics()));
+        assert_eq!(plan.answers(&db), eval::answers(&db, &q));
+    }
+
+    #[test]
+    fn statistics_put_the_selective_atom_first() {
+        // R has one fact, S has many: the plan should open with R.
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1), ("S", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let mut db = UncertainDatabase::new(schema.clone());
+        db.insert_values("R", ["a", "b"]).unwrap();
+        for i in 0..50 {
+            db.insert_values("S", [format!("b{i}"), format!("c{i}")])
+                .unwrap();
+        }
+        let q = ConjunctiveQuery::builder(schema)
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .atom("S", [Term::var("y"), Term::var("z")])
+            .build()
+            .unwrap();
+        let index = db.index();
+        let plan = QueryPlan::compile(&q, Some(index.statistics()));
+        let text = plan.explain();
+        let r_line = text.lines().next().unwrap();
+        assert!(r_line.contains("R("), "R should be joined first:\n{text}");
+        assert!(!plan.satisfies(&db)); // no S(b, _) fact
+        assert_eq!(plan.satisfies(&db), eval::satisfies(&db, &q));
+    }
+
+    #[test]
+    fn empty_query_is_always_satisfied() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let q = ConjunctiveQuery::boolean(schema.clone(), Vec::new()).unwrap();
+        let plan = QueryPlan::compile(&q, None);
+        assert!(plan.is_empty());
+        let db = UncertainDatabase::new(schema);
+        assert!(plan.satisfies(&db));
+        assert_eq!(plan.all_valuations(&db).len(), 1);
+        assert!(plan.explain().contains("empty query"));
+    }
+
+    #[test]
+    fn wide_relations_fall_back_to_checked_positions() {
+        let wide = 70usize;
+        let schema = cqa_data::Schema::from_relations([("W", wide, 1)])
+            .unwrap()
+            .into_shared();
+        let mut db = UncertainDatabase::new(schema.clone());
+        let mut row = vec!["k"; wide];
+        row[wide - 1] = "last";
+        db.insert_values("W", row).unwrap();
+        let mut hit: Vec<Term> = (0..wide - 1).map(|_| Term::var("x")).collect();
+        hit.push(Term::constant("last"));
+        let mut miss: Vec<Term> = (0..wide - 1).map(|_| Term::var("x")).collect();
+        miss.push(Term::constant("other"));
+        let q_hit = ConjunctiveQuery::builder(schema.clone())
+            .atom("W", hit)
+            .build()
+            .unwrap();
+        let q_miss = ConjunctiveQuery::builder(schema)
+            .atom("W", miss)
+            .build()
+            .unwrap();
+        let stats_index = db.index();
+        let stats = stats_index.statistics();
+        assert!(QueryPlan::compile(&q_hit, Some(stats)).satisfies(&db));
+        assert!(!QueryPlan::compile(&q_miss, Some(stats)).satisfies(&db));
+    }
+}

@@ -1,7 +1,12 @@
 //! A first-order formula AST over the relational vocabulary of a schema.
+//!
+//! The AST lives in `cqa-query` (below `cqa-core`, where the rewriting that
+//! produces such formulas is constructed) so that the physical-plan compiler
+//! in `cqa-exec` can lower formulas without depending on the solver layer.
+//! `cqa_core::fo::formula` re-exports this module under its historical path.
 
+use crate::{Term, Variable};
 use cqa_data::{RelationId, Schema};
-use cqa_query::{Term, Variable};
 use std::fmt;
 
 /// A first-order formula over relation atoms and (in)equalities of terms.

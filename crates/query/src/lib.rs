@@ -18,7 +18,10 @@
 //!   test (Section 3, "Join tree and acyclic conjunctive query");
 //! * purification of uncertain databases (Lemma 1);
 //! * a catalog of the queries used throughout the paper (`q0`, `q1` of
-//!   Fig. 2, the Fig. 4 query, `C(k)` and `AC(k)` of Definition 8, …).
+//!   Fig. 2, the Fig. 4 query, `C(k)` and `AC(k)` of Definition 8, …);
+//! * [`FoFormula`] — the first-order formula AST in which certain rewritings
+//!   (Theorem 1, built by `cqa-core`) are expressed and from which the
+//!   `cqa-exec` physical planner compiles executable plans.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod catalog;
 mod error;
 pub mod eval;
 pub mod fd;
+pub mod fo_formula;
 pub mod gyo;
 pub mod join_tree;
 pub mod purify;
@@ -39,6 +43,7 @@ pub mod varset;
 
 pub use atom::{Atom, AtomId};
 pub use error::QueryError;
+pub use fo_formula::FoFormula;
 pub use join_tree::JoinTree;
 pub use query::ConjunctiveQuery;
 pub use term::{Term, Variable};

@@ -11,6 +11,8 @@
 //! * [`data`] — uncertain databases, blocks, repairs;
 //! * [`query`] — Boolean conjunctive queries, join trees, purification;
 //! * [`graph`] — the directed-graph algorithms used by the solvers;
+//! * [`exec`] — the compiled physical-plan executor (join plans for
+//!   queries, operator plans for certain rewritings, plan caching);
 //! * [`core`] — attack graphs, complexity classification, certain-answer
 //!   solvers, certain first-order rewriting, reductions;
 //! * [`prob`] — block-independent-disjoint probabilistic databases, `IsSafe`,
@@ -23,6 +25,7 @@
 
 pub use cqa_core as core;
 pub use cqa_data as data;
+pub use cqa_exec as exec;
 pub use cqa_gen as gen;
 pub use cqa_graph as graph;
 pub use cqa_parser as parser;
@@ -38,5 +41,6 @@ pub mod prelude {
         AttackGraph,
     };
     pub use cqa_data::{Fact, Schema, UncertainDatabase, Value};
+    pub use cqa_exec::{FoPlan, PlanCache, QueryPlan};
     pub use cqa_query::{Atom, ConjunctiveQuery, Term, Variable};
 }

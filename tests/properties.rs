@@ -3,7 +3,9 @@
 
 use cqa::core::attack::{AttackGraph, CycleAnalysis};
 use cqa::core::classify::{classify, ComplexityClass};
-use cqa::core::solvers::{CertaintyEngine, CertaintySolver, ExactOracle};
+use cqa::core::fo::eval::evaluate_sentence;
+use cqa::core::solvers::{CertaintyEngine, CertaintySolver, ExactOracle, RewritingSolver};
+use cqa::exec::{FoPlan, QueryPlan};
 use cqa::gen::{random_acyclic_query, GeneratorConfig, UncertainDbGenerator};
 use cqa::prob::eval::{probability_exact, probability_over_repairs};
 use cqa::prob::{is_safe, BidDatabase};
@@ -214,5 +216,58 @@ proptest! {
                 eval::naive::satisfies_with(&db, &q, &junk)
             );
         }
+    }
+}
+
+proptest! {
+    // 256 cases: every run cross-checks the compiled physical plans against
+    // the interpreters on well over 200 randomized generator instances.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Compiled plans agree with the interpreters they replace:
+    /// `cqa_exec::QueryPlan` with `cqa_query::eval` (verdict and full
+    /// valuation set), and — on the Theorem 1 catalog queries —
+    /// `cqa_exec::FoPlan` on the certain rewriting with the generic model
+    /// checker `cqa_core::fo::eval` and with the solver's interpreted
+    /// recursion.
+    #[test]
+    fn compiled_plans_agree_with_the_interpreters(seed in 0u64..100_000, which in 0usize..3) {
+        let entry = match which {
+            0 => catalog::conference(),
+            1 => catalog::fo_path2(),
+            _ => catalog::fo_path3(),
+        };
+        let q = entry.query;
+        let db = UncertainDbGenerator::new(&q, GeneratorConfig {
+            seed,
+            matches: 1 + (seed % 5) as usize,
+            domain_per_variable: 2 + (seed % 3) as usize,
+            extra_block_facts: (seed % 3) as usize,
+            alternative_join_probability: 0.6,
+        }).generate();
+        let index = db.index();
+
+        // Query side: the compiled join plan vs the tree-walking join.
+        let plan = QueryPlan::compile(&q, Some(index.statistics()));
+        let prepared = plan.prepare(&index);
+        prop_assert_eq!(prepared.satisfies(), eval::satisfies(&db, &q),
+            "query plan verdict, {} seed {}", entry.name, seed);
+        let mut compiled: Vec<String> =
+            prepared.all_valuations().iter().map(|v| format!("{v:?}")).collect();
+        let mut reference: Vec<String> =
+            eval::all_valuations(&db, &q).iter().map(|v| format!("{v:?}")).collect();
+        compiled.sort();
+        reference.sort();
+        prop_assert_eq!(compiled, reference, "query plan valuations, {} seed {}", entry.name, seed);
+
+        // Rewriting side: the compiled FO plan vs the model checker and the
+        // interpreted elimination recursion (three-way agreement).
+        let solver = RewritingSolver::new(&q).unwrap();
+        let fo_plan = FoPlan::compile(solver.formula(), q.schema(), Some(index.statistics()));
+        let compiled_verdict = fo_plan.prepare(&index).eval();
+        prop_assert_eq!(compiled_verdict, evaluate_sentence(solver.formula(), &db),
+            "fo plan vs model checker, {} seed {}\n{}", entry.name, seed, fo_plan.explain());
+        prop_assert_eq!(compiled_verdict, solver.is_certain_interpreted(&db),
+            "fo plan vs interpreted recursion, {} seed {}\n{}", entry.name, seed, fo_plan.explain());
     }
 }
