@@ -18,7 +18,7 @@
 //! Run with `cargo run --release -p cqa-bench --bin bench_exec`
 //! (`--quick` shrinks the instances for CI smoke runs).
 
-use cqa_bench::scaled_instance;
+use cqa_bench::{json_escape, scaled_instance, time_min};
 use cqa_core::fo::eval::evaluate_sentence;
 use cqa_core::fo::{certain_rewriting, FoFormula};
 use cqa_data::UncertainDatabase;
@@ -32,29 +32,6 @@ use std::time::{Duration, Instant};
 const COMPILED_RUNS: usize = 10;
 /// Runs for the interpreted side (slow on the large workloads).
 const INTERPRETED_RUNS: usize = 2;
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn time_min<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
-    let mut best = Duration::MAX;
-    for _ in 0..runs {
-        let start = Instant::now();
-        std::hint::black_box(f());
-        best = best.min(start.elapsed());
-    }
-    best
-}
 
 struct Comparison {
     interpreted: Duration,

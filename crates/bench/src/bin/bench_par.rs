@@ -1,0 +1,209 @@
+//! Sequential vs parallel certainty evaluation, measured on `cqa-gen`
+//! workloads and recorded in `BENCH_par.json` at the workspace root.
+//!
+//! Two parallel entry points are measured against their sequential
+//! counterparts, at 1/2/4/8 worker threads:
+//!
+//! * **certain answers** — the candidate-answer space of
+//!   `cqa_core::answers::certain_answers` sharded by
+//!   `cqa_par::certain_answers_par` (per-candidate grounding + Boolean
+//!   certainty on worker threads, ordered-set merge);
+//! * **certainty** — the compiled Theorem 1 rewriting's root scan sharded
+//!   by `cqa_par::ParallelEngine::is_certain`.
+//!
+//! Every parallel result is asserted **identical** to the sequential one
+//! before anything is timed — the determinism contract of `cqa-par`.
+//!
+//! The recorded `host_cpus` matters when reading the numbers: thread counts
+//! beyond the machine's hardware parallelism time-slice one core and cannot
+//! speed anything up, so on a 1-CPU container every speedup is ≈ 1×. The
+//! scaling story needs a multi-core host; the determinism story does not.
+//!
+//! Run with `cargo run --release -p cqa-bench --bin bench_par`
+//! (`--quick` shrinks the instances for CI smoke runs).
+
+use cqa_bench::{json_escape, scaled_instance, time_min};
+use cqa_core::answers::certain_answers;
+use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
+use cqa_par::{certain_answers_par, ParConfig, ParPool, ParallelEngine};
+use cqa_query::{catalog, ConjunctiveQuery, Variable};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The thread counts of the scaling curve.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The catalog query with its first variable freed: the non-Boolean variant
+/// whose candidate space the parallel layer shards.
+fn free_first_variable(query: &ConjunctiveQuery, var: &str) -> ConjunctiveQuery {
+    ConjunctiveQuery::with_free_vars(
+        query.schema().clone(),
+        query.atoms().to_vec(),
+        vec![Variable::new(var)],
+    )
+    .expect("freeing a variable of a valid query stays valid")
+}
+
+struct ScalingPoint {
+    threads: usize,
+    elapsed: Duration,
+    speedup: f64,
+}
+
+fn points_json(sequential: Duration, points: &[ScalingPoint]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "\"sequential_ms\": {:.3}, \"threads\": [",
+        sequential.as_secs_f64() * 1e3
+    );
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{ \"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.2}, \"identical_result\": true }}",
+            if i == 0 { " " } else { ", " },
+            p.threads,
+            p.elapsed.as_secs_f64() * 1e3,
+            p.speedup,
+        );
+    }
+    out.push_str(" ]");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let host_cpus = workpool_cpus();
+    let runs = if quick { 1 } else { 2 };
+
+    // The acceptance workload: the 3-atom chain at n = 2200 (~13k facts),
+    // with x freed so the candidate-answer space is ~n tuples; plus the
+    // Figure 1 conference shape at a comparable scale.
+    let workloads: Vec<(&str, ConjunctiveQuery, &str, usize, u64)> = vec![
+        (
+            "path3",
+            catalog::fo_path3().query,
+            "x",
+            if quick { 150 } else { 2200 },
+            11,
+        ),
+        (
+            "conference",
+            catalog::conference().query,
+            "x",
+            if quick { 200 } else { 2600 },
+            13,
+        ),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, boolean_query, freed, n, seed) in workloads {
+        let db = scaled_instance(&boolean_query, n, seed);
+        let snapshot = db.snapshot();
+        let query = free_first_variable(&boolean_query, freed);
+        eprintln!(
+            "workload {name}: {} atoms, {} facts, {} blocks",
+            query.len(),
+            db.fact_count(),
+            db.block_count(),
+        );
+
+        // -- certain answers: sequential baseline, then the scaling curve.
+        let reference = certain_answers(&query, &db).expect("workload queries are answerable");
+        let answers_seq = time_min(runs, || certain_answers(&query, &db).expect("answerable"));
+        let mut answer_points = Vec::new();
+        for threads in THREAD_COUNTS {
+            let pool = ParPool::new(threads);
+            let par = certain_answers_par(&query, &snapshot, &pool, &ParConfig::default())
+                .expect("answerable");
+            assert_eq!(
+                par, reference,
+                "parallel certain_answers diverged at {threads} threads on {name}"
+            );
+            let elapsed = time_min(runs, || {
+                certain_answers_par(&query, &snapshot, &pool, &ParConfig::default())
+                    .expect("answerable")
+            });
+            answer_points.push(ScalingPoint {
+                threads,
+                elapsed,
+                speedup: answers_seq.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+            });
+        }
+        for p in &answer_points {
+            eprintln!(
+                "  certain_answers {} threads: {:9.3} ms ({:>5.2}x vs sequential {:.3} ms)",
+                p.threads,
+                p.elapsed.as_secs_f64() * 1e3,
+                p.speedup,
+                answers_seq.as_secs_f64() * 1e3,
+            );
+        }
+
+        // -- Boolean certainty: root-scan sharding of the rewriting plan.
+        let engine = CertaintyEngine::new(&boolean_query).expect("Theorem 1 queries classify");
+        let verdict = engine.is_certain(&db);
+        let certain_seq = time_min(runs.max(3), || engine.is_certain(&db));
+        let mut certain_points = Vec::new();
+        for threads in THREAD_COUNTS {
+            let par = ParallelEngine::new(
+                &boolean_query,
+                ParPool::new(threads),
+                ParConfig::always_parallel(),
+            )
+            .expect("Theorem 1 queries classify");
+            assert_eq!(
+                par.is_certain(&snapshot),
+                verdict,
+                "parallel is_certain diverged at {threads} threads on {name}"
+            );
+            let elapsed = time_min(runs.max(3), || par.is_certain(&snapshot));
+            certain_points.push(ScalingPoint {
+                threads,
+                elapsed,
+                speedup: certain_seq.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+            });
+        }
+        for p in &certain_points {
+            eprintln!(
+                "  is_certain      {} threads: {:9.3} ms ({:>5.2}x vs sequential {:.3} ms)",
+                p.threads,
+                p.elapsed.as_secs_f64() * 1e3,
+                p.speedup,
+                certain_seq.as_secs_f64() * 1e3,
+            );
+        }
+
+        let mut entry = String::new();
+        write!(
+            entry,
+            "    {{\n      \"name\": \"{name}\",\n      \"query\": \"{}\",\n      \"facts\": {},\n      \"blocks\": {},\n      \"candidate_answers\": {},\n      \"certain_answers\": {{ {} }},\n      \"is_certain\": {{ \"verdict\": {verdict}, {} }}\n    }}",
+            json_escape(&query.to_string()),
+            db.fact_count(),
+            db.block_count(),
+            reference.possible.len(),
+            points_json(answers_seq, &answer_points),
+            points_json(certain_seq, &certain_points),
+        )
+        .expect("writing to a String cannot fail");
+        entries.push(entry);
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sequential vs work-stealing parallel certainty evaluation\",\n  \"generated_by\": \"cargo run --release -p cqa-bench --bin bench_par\",\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},\n  \"note\": \"every parallel result is asserted byte-identical to the sequential one before timing; speedups above 1x require host_cpus > 1 (thread counts beyond host_cpus time-slice one core)\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_par.json");
+    std::fs::write(&out, &json).expect("write BENCH_par.json");
+    eprintln!("wrote {}", out.display());
+    print!("{json}");
+}
+
+/// The machine's hardware parallelism, as the pool sizes itself by default.
+fn workpool_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}

@@ -55,6 +55,33 @@ pub fn time_it<R>(mut f: impl FnMut() -> R) -> (R, Duration) {
     (result, start.elapsed())
 }
 
+/// The minimum wall-clock time of `runs` executions of `f` — the
+/// measurement the `bench_exec` / `bench_par` binaries record (minimum
+/// over runs filters scheduler noise better than the mean).
+pub fn time_min<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Escapes a string for embedding in the hand-rendered benchmark JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a duration in microseconds with three significant digits.
 pub fn micros(d: Duration) -> String {
     format!("{:.1}µs", d.as_secs_f64() * 1e6)

@@ -10,7 +10,14 @@
 //! certainty probability <file.cqa>           Pr(q) under the uniform-repair distribution
 //! certainty repairs <file.cqa>               list/count repairs of the database
 //! certainty attack-graph <file.cqa> [--dot]  print the attack graph (optionally as DOT)
+//! certainty serve <file.cqa> [--threads=N]   answer newline-delimited stdin queries concurrently
 //! ```
+//!
+//! `serve` freezes the document's database into a snapshot, reads one query
+//! per line from stdin (`name[(vars)] :- atoms`, or a bare atom list), and
+//! answers the whole stream concurrently on a work-stealing pool
+//! (`cqa_par::BatchEngine`) — results print in input order regardless of
+//! which worker finished first.
 //!
 //! The input format is documented in the `cqa-parser` crate (and in
 //! `README.md`).
@@ -21,12 +28,14 @@ use cqa_core::fo::{certain_rewriting, sql::to_sql};
 use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
 use cqa_core::AttackGraph;
 use cqa_exec::{FoPlan, QueryPlan};
-use cqa_parser::{dot, parse_document, Document};
+use cqa_par::{BatchEngine, BatchOutcome, ParPool};
+use cqa_parser::{dot, parse_document, parse_query_line, Document};
 use cqa_prob::eval::probability_over_repairs;
+use std::io::BufRead;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph> <file> [--sql] [--dot] [--query=NAME]"
+    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph|serve> <file> [--sql] [--dot] [--query=NAME] [--threads=N]"
 }
 
 fn load(path: &str) -> Result<Document, String> {
@@ -39,10 +48,18 @@ fn run() -> Result<(), String> {
     let (flags, positional): (Vec<&String>, Vec<&String>) =
         args.iter().partition(|a| a.starts_with("--"));
     let mut query_filter: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut flag_names: Vec<String> = Vec::new();
     for flag in flags {
         match flag.split_once('=') {
             Some(("--query", value)) => query_filter = Some(value.to_string()),
+            Some(("--threads", value)) => {
+                threads = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--threads expects a number, got `{value}`"))?,
+                )
+            }
             Some((name, _)) => flag_names.push(name.to_string()),
             None => flag_names.push(flag.clone()),
         }
@@ -51,7 +68,7 @@ fn run() -> Result<(), String> {
         return Err(usage().to_string());
     };
     let doc = load(path)?;
-    if doc.queries.is_empty() && command.as_str() != "repairs" {
+    if doc.queries.is_empty() && !matches!(command.as_str(), "repairs" | "serve") {
         return Err("the document declares no `certain ... :- ...` query".to_string());
     }
     let selected: Vec<&(String, cqa_query::ConjunctiveQuery)> = doc
@@ -158,6 +175,72 @@ fn run() -> Result<(), String> {
                 doc.database.repair_count_log2()
             ),
         },
+        "serve" => {
+            let pool = match threads {
+                Some(n) => ParPool::new(n),
+                None => ParPool::with_available_parallelism(),
+            };
+            let thread_count = pool.thread_count();
+            let engine = BatchEngine::new(doc.database.snapshot(), pool);
+            // Read the whole newline-delimited stream, then answer it as
+            // one concurrent batch; parse failures keep their place in the
+            // output without stopping the stream.
+            let mut entries: Vec<(String, Result<cqa_query::ConjunctiveQuery, String>)> =
+                Vec::new();
+            for (i, line) in std::io::stdin().lock().lines().enumerate() {
+                let line = line.map_err(|e| format!("stdin: {e}"))?;
+                let text = line.split('#').next().unwrap_or("").trim();
+                let text = text.strip_prefix("certain ").unwrap_or(text).trim();
+                if text.is_empty() {
+                    continue;
+                }
+                match parse_query_line(&doc.schema, text, i + 1) {
+                    Ok((name, query)) => entries.push((name, Ok(query))),
+                    Err(e) => entries.push((format!("q{}", i + 1), Err(e.to_string()))),
+                }
+            }
+            let batch: Vec<(String, cqa_query::ConjunctiveQuery)> = entries
+                .iter()
+                .filter_map(|(name, parsed)| {
+                    parsed.as_ref().ok().map(|q| (name.clone(), q.clone()))
+                })
+                .collect();
+            let served = batch.len();
+            let mut results = engine.run(batch).into_iter();
+            for (name, parsed) in entries {
+                if let Err(e) = parsed {
+                    println!("{name}: error: {e}");
+                    continue;
+                }
+                let result = results.next().expect("one result per parsed query");
+                match result.outcome {
+                    BatchOutcome::Boolean {
+                        certain,
+                        possible,
+                        solver,
+                    } => println!(
+                        "{}: {} (possible: {possible}, solver: {solver})",
+                        result.name,
+                        if certain { "certain" } else { "not certain" },
+                    ),
+                    BatchOutcome::Answers(sets) => {
+                        println!(
+                            "{}: {} certain / {} possible",
+                            result.name,
+                            sets.certain.len(),
+                            sets.possible.len()
+                        );
+                        for tuple in &sets.certain {
+                            let rendered: Vec<String> =
+                                tuple.iter().map(|v| v.to_string()).collect();
+                            println!("  certain: ({})", rendered.join(", "));
+                        }
+                    }
+                    BatchOutcome::Error(e) => println!("{}: error: {e}", result.name),
+                }
+            }
+            eprintln!("served {served} queries on {thread_count} threads");
+        }
         "attack-graph" => {
             for (name, query) in &selected {
                 let graph = AttackGraph::build(query).map_err(|e| e.to_string())?;

@@ -18,9 +18,11 @@ use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
 /// Process-wide memo of compiled satisfaction plans: repeated
-/// `certain_answers` calls for the same `(schema, query)` — a CLI loop, a
+/// [`certain_answers`] calls for the same `(schema, query)` — a CLI loop, a
 /// service answering the same query against evolving data — compile once.
-fn plan_cache() -> &'static PlanCache {
+/// Shared with the `cqa-par` batch engine so the sequential and parallel
+/// paths amortize the same compilations.
+pub fn shared_plan_cache() -> &'static PlanCache {
     static CACHE: OnceLock<PlanCache> = OnceLock::new();
     CACHE.get_or_init(PlanCache::new)
 }
@@ -44,23 +46,49 @@ pub fn certain_answers(
     query: &ConjunctiveQuery,
     db: &UncertainDatabase,
 ) -> Result<AnswerSets, QueryError> {
-    query.require_self_join_free()?;
-    // Possible answers through the compiled join plan (`cqa_query::eval`
-    // remains the reference; the property suite keeps them identical).
-    let index = db.index();
-    let possible = plan_cache()
-        .plan(query, Some(index.statistics()))
-        .answers(db);
+    let possible = possible_answers(query, db)?;
     let free = query.free_vars().to_vec();
     let mut certain = BTreeSet::new();
     for tuple in &possible {
-        let grounded = substitute::substitute_seq(query, &free, tuple);
-        let engine = CertaintyEngine::new(&grounded)?;
-        if engine.is_certain(db) {
+        if tuple_is_certain(query, &free, tuple, db)? {
             certain.insert(tuple.clone());
         }
     }
     Ok(AnswerSets { certain, possible })
+}
+
+/// The **possible answers** of the query: tuples that are answers on `db`
+/// itself — equivalently, answers in *some* repair (conjunctive queries are
+/// monotone). These are exactly the candidates for certainty; the parallel
+/// layer shards this set across threads.
+///
+/// Evaluated through the compiled join plan of the process-wide
+/// [`shared_plan_cache`] (`cqa_query::eval` remains the reference; the
+/// property suite keeps them identical).
+pub fn possible_answers(
+    query: &ConjunctiveQuery,
+    db: &UncertainDatabase,
+) -> Result<BTreeSet<Vec<Value>>, QueryError> {
+    query.require_self_join_free()?;
+    let index = db.index();
+    Ok(shared_plan_cache()
+        .plan(query, Some(index.statistics()))
+        .answers(db))
+}
+
+/// Decides certainty of one candidate tuple: the Boolean query obtained by
+/// substituting `tuple` for `free` must be certain. This per-candidate step
+/// is what [`certain_answers`] runs in a loop and the parallel layer runs on
+/// worker threads.
+pub fn tuple_is_certain(
+    query: &ConjunctiveQuery,
+    free: &[cqa_query::Variable],
+    tuple: &[Value],
+    db: &UncertainDatabase,
+) -> Result<bool, QueryError> {
+    let grounded = substitute::substitute_seq(query, free, tuple);
+    let engine = CertaintyEngine::new(&grounded)?;
+    Ok(engine.is_certain(db))
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //!   (Definition 3), the closures `F^{+,q}` / `F^{⊞,q}` (Definitions 2 and 5),
 //!   weak vs. strong attacks, and the cycle analysis (strong cycles,
 //!   terminal cycles) on which the complexity classification rests;
-//! * [`classify`] — the tractability-frontier classifier: first-order
+//! * [`classify`](mod@classify) — the tractability-frontier classifier: first-order
 //!   expressible (Theorem 1), coNP-complete (Theorem 2), polynomial time
 //!   (Theorems 3 and 4, Corollary 1), or the open case of Conjecture 1;
 //! * [`fo`] — certain first-order rewritings: formula AST, construction for

@@ -26,7 +26,7 @@ pub use two_atom::TwoAtomSolver;
 
 use crate::classify::{classify, Classification, ComplexityClass, PtimeReason};
 use cqa_data::UncertainDatabase;
-use cqa_exec::QueryPlan;
+use cqa_exec::{FoPlan, QueryPlan};
 use cqa_query::{ConjunctiveQuery, QueryError};
 use std::sync::OnceLock;
 
@@ -48,6 +48,14 @@ pub trait CertaintySolver {
     fn explain_plan(&self, _db: &UncertainDatabase) -> Option<String> {
         None
     }
+
+    /// The compiled certain-rewriting plan the solver evaluates, when it
+    /// has one (the Theorem 1 region). `cqa-par` shards `is_certain` over
+    /// this plan's root candidate space; solvers without a rewriting plan
+    /// return `None` and are evaluated sequentially.
+    fn rewriting_plan(&self, _db: &UncertainDatabase) -> Option<&FoPlan> {
+        None
+    }
 }
 
 /// The automatic solver: classifies the query and picks the best algorithm.
@@ -63,6 +71,25 @@ pub struct CertaintyEngine {
 
 impl CertaintyEngine {
     /// Classifies `query` and builds the most specific applicable solver.
+    ///
+    /// This is the front door of the crate: construction classifies the
+    /// query once (data complexity: the query is fixed, the data varies),
+    /// and every later [`CertaintyEngine::is_certain`] call runs the most
+    /// specific solver's compiled plan.
+    ///
+    /// ```
+    /// use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
+    /// use cqa_query::catalog;
+    ///
+    /// // Figure 1: will Rome certainly host an A-ranked conference?
+    /// let engine = CertaintyEngine::new(&catalog::conference().query)?;
+    /// assert_eq!(engine.solver_name(), "rewriting"); // Theorem 1 region
+    ///
+    /// let db = catalog::conference_database();
+    /// assert!(engine.is_possible(&db));  // true in some repair
+    /// assert!(!engine.is_certain(&db));  // but not in every repair
+    /// # Ok::<(), cqa_query::QueryError>(())
+    /// ```
     pub fn new(query: &ConjunctiveQuery) -> Result<Self, QueryError> {
         let classification = classify(query)?;
         let solver: Box<dyn CertaintySolver + Send + Sync> = match &classification.class {
@@ -111,6 +138,15 @@ impl CertaintyEngine {
         self.satisfaction_plan(db).satisfies(db)
     }
 
+    /// The compiled certain-rewriting plan of the dispatched solver, when
+    /// it has one (the Theorem 1 region; `db` supplies the statistics on
+    /// first use). `cqa-par` shards `is_certain` over this plan's root
+    /// candidate space; `None` means certainty must be decided
+    /// sequentially.
+    pub fn rewriting_plan(&self, db: &UncertainDatabase) -> Option<&FoPlan> {
+        self.solver.rewriting_plan(db)
+    }
+
     /// Renders the compiled physical plans for the query: the satisfaction
     /// join plan, plus the solver's own plan (for the Theorem 1 region, the
     /// compiled certain rewriting).
@@ -139,6 +175,10 @@ impl CertaintySolver for CertaintyEngine {
 
     fn is_certain(&self, db: &UncertainDatabase) -> bool {
         self.solver.is_certain(db)
+    }
+
+    fn rewriting_plan(&self, db: &UncertainDatabase) -> Option<&FoPlan> {
+        self.solver.rewriting_plan(db)
     }
 }
 

@@ -4,7 +4,7 @@
 //! first-order rewriting ([Wijsen 2012], restated as Theorem 1). The solver
 //! here evaluates that rewriting directly against the database by the
 //! recursion the paper uses in the proof of Theorem 3 (Corollary 8.11 of
-//! [23] combined with Lemma 8):
+//! \[23\] combined with Lemma 8):
 //!
 //! > if `F` is an unattacked atom of `q`, then `db ∈ CERTAINTY(q)` iff there
 //! > is a block `b` of `F`'s relation whose key matches `key(F)` such that
@@ -172,6 +172,10 @@ impl CertaintySolver for RewritingSolver {
 
     fn explain_plan(&self, db: &UncertainDatabase) -> Option<String> {
         Some(self.plan(db).explain())
+    }
+
+    fn rewriting_plan(&self, db: &UncertainDatabase) -> Option<&FoPlan> {
+        Some(self.plan(db))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Certainty for two-atom queries (the Theorem 3 base case).
 //!
-//! Kolaitis and Pema [13] proved that for every self-join-free Boolean
+//! Kolaitis and Pema \[13\] proved that for every self-join-free Boolean
 //! conjunctive query with exactly two atoms, `CERTAINTY(q)` is either in P or
 //! coNP-complete. The paper uses the tractable side as a black box in the
 //! base case of Theorem 3: after all unattacked atoms have been eliminated,
@@ -11,7 +11,7 @@
 //! ## Substitution note (see `DESIGN.md` §4)
 //!
 //! Kolaitis–Pema reduce the P-side to maximum independent set in claw-free
-//! graphs and invoke Minty's algorithm [17]. This implementation builds the
+//! graphs and invoke Minty's algorithm \[17\]. This implementation builds the
 //! same conflict structure — blocks are cliques, and a fact of one relation
 //! conflicts with the facts of the *single* block of the other relation it
 //! joins with — but decides whether a conflict-free repair exists with

@@ -103,6 +103,14 @@ impl UncertainDatabase {
         }
     }
 
+    /// Freezes the current contents into a [`crate::Snapshot`]: an owned,
+    /// immutable, `Send + Sync` handle carrying both the data and its
+    /// [`DatabaseIndex`], for sharing with worker threads while this
+    /// database keeps mutating.
+    pub fn snapshot(&self) -> crate::Snapshot {
+        crate::Snapshot::new(self)
+    }
+
     /// Drops the cached index snapshot; called by every mutating method.
     fn invalidate_index(&mut self) {
         *self

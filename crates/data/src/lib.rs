@@ -27,6 +27,8 @@
 //! * [`DatabaseIndex`] — a cached secondary-index snapshot (dense fact ids,
 //!   per-relation fact/block lists, hash indexes on arbitrary position
 //!   subsets) that turns the solvers' join steps into hash probes,
+//! * [`Snapshot`] — an owned, immutable, `Send + Sync` point-in-time view
+//!   (database + index) that the parallel layer shares across threads,
 //! * small utilities shared by the rest of the workspace.
 
 #![forbid(unsafe_code)]
@@ -39,6 +41,7 @@ mod fact;
 pub mod index;
 mod repairs;
 mod schema;
+mod snapshot;
 mod value;
 
 pub use block::{Block, BlockId};
@@ -50,6 +53,7 @@ pub use index::{
 };
 pub use repairs::{RepairIter, RepairSampler};
 pub use schema::{Relation, RelationId, Schema, Signature};
+pub use snapshot::Snapshot;
 pub use value::Value;
 
 /// Convenience alias used across the workspace for fast hash maps.

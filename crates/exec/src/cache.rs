@@ -20,8 +20,11 @@ pub struct PlanCache {
     plans: RwLock<FxHashMap<String, Arc<QueryPlan>>>,
 }
 
-/// The cache key: relation signatures followed by the query rendering.
-fn fingerprint(query: &ConjunctiveQuery) -> String {
+/// The cache key of a query: relation signatures followed by the query
+/// rendering. Exported so other per-query caches (the `cqa-par` batch
+/// engine's classified-engine memo) key on exactly the same notion of
+/// "same (schema, query)" and cannot drift from this cache.
+pub fn fingerprint(query: &ConjunctiveQuery) -> String {
     let mut key = String::new();
     for (_, relation) in query.schema().iter() {
         let _ = write!(

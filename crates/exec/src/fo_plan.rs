@@ -108,6 +108,9 @@ pub struct FoPlan {
     /// sentences produced by `certain_rewriting`).
     free: Vec<(Variable, Slot)>,
     probe_count: usize,
+    /// Cost-model estimate of the operator-visit count of one evaluation
+    /// (see [`FoPlan::estimated_work`]).
+    estimated_work: f64,
 }
 
 impl FoPlan {
@@ -137,13 +140,31 @@ impl FoPlan {
             })
             .collect();
         let root = lowerer.lower(formula);
+        // Active-domain size proxy for the unguarded quantifier fallbacks:
+        // every domain value appears in some fact, so the total cardinality
+        // bounds it.
+        let adom_estimate: f64 = schema
+            .iter()
+            .map(|(id, _)| lowerer.cost.cardinality(id))
+            .sum();
+        let estimated_work = estimated_op_work(&root, &lowerer.cost, adom_estimate);
         FoPlan {
             schema: schema.clone(),
             root,
             slots: lowerer.slots,
             free,
             probe_count: lowerer.probe_count,
+            estimated_work,
         }
+    }
+
+    /// Cost-model estimate of how many operator visits one evaluation
+    /// costs: scan and quantifier fan-outs multiply down the tree,
+    /// conjunctions and disjunctions add up. An *estimate*, never consulted
+    /// for correctness — `cqa-par` compares it against its sequential
+    /// cutoff before sharding an evaluation across threads.
+    pub fn estimated_work(&self) -> f64 {
+        self.estimated_work
     }
 
     /// Binds the plan to an index snapshot, resolving every probe handle.
@@ -756,6 +777,34 @@ fn flatten_and(formula: &FoFormula) -> Vec<&FoFormula> {
     }
 }
 
+/// Cost-model estimate of the operator visits one evaluation of `op`
+/// costs: constant-time operators count 1, scans and quantifiers multiply
+/// their estimated fan-out into their body, `all`/`any` sum their parts.
+/// `adom` is the active-domain size proxy for unguarded domain loops.
+fn estimated_op_work(op: &FoOp, cost: &CostModel, adom: f64) -> f64 {
+    match op {
+        FoOp::Bool(_) | FoOp::Lookup(_) | FoOp::Eq(_, _) => 1.0,
+        FoOp::Not(inner) => estimated_op_work(inner, cost, adom),
+        FoOp::All(parts) | FoOp::Any(parts) => parts
+            .iter()
+            .map(|p| estimated_op_work(p, cost, adom))
+            .sum::<f64>()
+            .max(1.0),
+        FoOp::ExistsScan { spec, body } | FoOp::ForallBlock { spec, body } => {
+            spec.estimated_rows.max(1.0) * estimated_op_work(body, cost, adom)
+        }
+        FoOp::ExistsColumn {
+            relation,
+            position,
+            body,
+            ..
+        } => cost.distinct(*relation, *position).max(1.0) * estimated_op_work(body, cost, adom),
+        FoOp::ExistsDomain { body, .. } | FoOp::ForallDomain { body, .. } => {
+            adom.max(1.0) * estimated_op_work(body, cost, adom)
+        }
+    }
+}
+
 /// An [`FoPlan`] resolved against one [`DatabaseIndex`] snapshot.
 pub struct PreparedFo<'p> {
     plan: &'p FoPlan,
@@ -779,6 +828,62 @@ impl PreparedFo<'_> {
             }
         }
         self.eval_op(&self.plan.root, &mut regs)
+    }
+
+    /// The width of the plan's **root candidate space**, when the root
+    /// operator is an existential scan of a sentence: the number of
+    /// candidate facts the root `∃-scan` iterates (for a Theorem 1
+    /// rewriting, the facts of the first eliminated atom's relation). The
+    /// search below each candidate is independent, so the disjunction of
+    /// [`PreparedFo::eval_root_shard`] over any partition of
+    /// `0..root_shard_width()` equals [`PreparedFo::eval`] — the axis
+    /// `cqa-par` shards `is_certain` on.
+    ///
+    /// `None` when the root is not an `∃-scan` or the formula has free
+    /// variables; callers must then evaluate sequentially.
+    pub fn root_shard_width(&self) -> Option<usize> {
+        if !self.plan.free.is_empty() {
+            return None;
+        }
+        let FoOp::ExistsScan { spec, .. } = &self.plan.root else {
+            return None;
+        };
+        let regs = Registers::new(self.plan.slots.len());
+        let candidates =
+            spec.candidates(&self.index, self.handles[spec.probe_id].as_ref(), &regs)?;
+        Some(candidates.ids().len())
+    }
+
+    /// Evaluates the sentence with the root `∃-scan`'s candidate iteration
+    /// restricted to `shard` (an index range into the root candidate list,
+    /// see [`PreparedFo::root_shard_width`]); out-of-range bounds are
+    /// clamped. If the root is not shardable the whole evaluation counts as
+    /// the shard containing index 0, so the disjunction over a partition
+    /// still equals [`PreparedFo::eval`].
+    pub fn eval_root_shard(&self, shard: std::ops::Range<usize>) -> bool {
+        let mut regs = Registers::new(self.plan.slots.len());
+        let FoOp::ExistsScan { spec, body } = &self.plan.root else {
+            return shard.start == 0 && self.eval_op(&self.plan.root, &mut regs);
+        };
+        let Some(candidates) =
+            spec.candidates(&self.index, self.handles[spec.probe_id].as_ref(), &regs)
+        else {
+            return false;
+        };
+        let ids = candidates.ids();
+        let lo = shard.start.min(ids.len());
+        let hi = shard.end.min(ids.len());
+        let mut writes = Vec::new();
+        let mut found = false;
+        for &fid in &ids[lo..hi] {
+            regs.undo(&mut writes);
+            let fact = self.index.fact(FactId::from_index(fid as usize));
+            if spec.apply(fact, &mut regs, &mut writes) && self.eval_op(body, &mut regs) {
+                found = true;
+                break;
+            }
+        }
+        found
     }
 
     fn eval_op(&self, op: &FoOp, regs: &mut Registers) -> bool {
@@ -931,6 +1036,41 @@ mod tests {
         let ne = FoFormula::Equals(Term::constant("x"), Term::constant("y"));
         assert!(compile(&eq, &db).eval(&db));
         assert!(!compile(&ne, &db).eval(&db));
+    }
+
+    #[test]
+    fn root_shards_recombine_to_the_full_verdict() {
+        let db = db();
+        let r = rel(&db);
+        // ∃x∃y (R(x, y) ∧ y = '2') — a root ∃-scan over all three R facts.
+        let sentence = FoFormula::exists(
+            vec![Variable::new("x"), Variable::new("y")],
+            FoFormula::and(vec![
+                FoFormula::atom(r, vec![Term::var("x"), Term::var("y")]),
+                FoFormula::Equals(Term::var("y"), Term::constant("2")),
+            ]),
+        );
+        let plan = compile(&sentence, &db);
+        let index = db.index();
+        let prepared = plan.prepare(&index);
+        let width = prepared.root_shard_width().expect("root is an ∃-scan");
+        assert_eq!(width, 3);
+        assert!(prepared.eval());
+        for shards in [1usize, 2, 3, 5] {
+            let per = width.div_ceil(shards);
+            let any =
+                (0..shards).any(|s| prepared.eval_root_shard(s * per..((s + 1) * per).min(width)));
+            assert_eq!(any, prepared.eval(), "{shards} shards");
+        }
+        // A non-shardable root (a plain lookup) still honours the
+        // partition convention: everything lives in the shard holding 0.
+        let lookup = FoFormula::atom(r, vec![Term::constant("a"), Term::constant("1")]);
+        let plan = compile(&lookup, &db);
+        let prepared = plan.prepare(&index);
+        assert_eq!(prepared.root_shard_width(), None);
+        assert!(prepared.eval_root_shard(0..1));
+        assert!(!prepared.eval_root_shard(1..9));
+        assert!(plan.estimated_work() >= 1.0);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct QueryPlan {
     slots: Vec<Variable>,
     free_slots: Vec<Slot>,
     probe_count: usize,
+    /// Cost-model estimate of the total number of search nodes a full
+    /// execution visits (see [`QueryPlan::estimated_work`]).
+    estimated_work: f64,
 }
 
 impl QueryPlan {
@@ -98,13 +101,34 @@ impl QueryPlan {
             steps.push(Step { atom: aid, spec });
         }
         let free_slots = query.free_vars().iter().map(|v| slot_of[v]).collect();
+        // Upper-bound estimate of visited search nodes: the candidate
+        // fan-out multiplies down the step sequence (fail-first pruning only
+        // shrinks it). This is what downstream layers (`cqa-par`) compare
+        // against their sequential cutoff.
+        let mut estimated_work = 0.0;
+        let mut fanout = 1.0;
+        for step in &steps {
+            fanout *= step.spec.estimated_rows.max(1.0);
+            estimated_work += fanout;
+        }
         QueryPlan {
             schema: query.schema().clone(),
             probe_count: steps.len(),
             steps,
             slots,
             free_slots,
+            estimated_work,
         }
+    }
+
+    /// Cost-model estimate of the number of search nodes a full execution
+    /// visits: the running product of the per-step candidate estimates,
+    /// summed over the steps. An *estimate*, never consulted for
+    /// correctness — `cqa-par` uses it as the sequential cutoff (a plan
+    /// whose whole search fits in a few thousand nodes is not worth
+    /// sharding across threads).
+    pub fn estimated_work(&self) -> f64 {
+        self.estimated_work
     }
 
     /// Binds the plan to an index snapshot, resolving every probe handle, so
@@ -262,6 +286,99 @@ impl PreparedQuery<'_> {
         out
     }
 
+    /// The width of the plan's **root candidate space**: the number of
+    /// candidate facts the first join step iterates when execution starts
+    /// from empty registers (the first step's probe key can only hold
+    /// constants, so the list is fixed for the snapshot). `None` for the
+    /// empty (step-less) plan.
+    ///
+    /// This is the axis `cqa-par` shards on: the search trees rooted at
+    /// disjoint slices of this list are independent, so
+    /// [`PreparedQuery::satisfies_shard`] /
+    /// [`PreparedQuery::answers_shard`] over a partition of
+    /// `0..root_width()` recombine exactly to [`PreparedQuery::satisfies`]
+    /// / [`PreparedQuery::answers`].
+    pub fn root_width(&self) -> Option<usize> {
+        Some(self.root_candidates()?.ids().len())
+    }
+
+    /// True iff some valuation whose first-step candidate lies in `shard`
+    /// (an index range into the root candidate list, see
+    /// [`PreparedQuery::root_width`]) satisfies the query. The disjunction
+    /// over any partition of `0..root_width()` equals
+    /// [`PreparedQuery::satisfies`]; out-of-range bounds are clamped.
+    pub fn satisfies_shard(&self, shard: std::ops::Range<usize>) -> bool {
+        let mut regs = Registers::new(self.plan.slots.len());
+        self.run_shard(shard, &mut regs, &mut |_| true)
+    }
+
+    /// The answer tuples whose witnessing valuation's first-step candidate
+    /// lies in `shard`. The union over any partition of `0..root_width()`
+    /// equals [`PreparedQuery::answers`] — and because the result is an
+    /// ordered set, the recombined answer is byte-identical however the
+    /// partition (or the thread interleaving) looked.
+    pub fn answers_shard(&self, shard: std::ops::Range<usize>) -> BTreeSet<Vec<Value>> {
+        let mut out = BTreeSet::new();
+        let mut regs = Registers::new(self.plan.slots.len());
+        self.run_shard(shard, &mut regs, &mut |regs| {
+            let tuple: Option<Vec<Value>> = self
+                .plan
+                .free_slots
+                .iter()
+                .map(|&s| regs.get(s).cloned())
+                .collect();
+            if let Some(tuple) = tuple {
+                out.insert(tuple);
+            }
+            false
+        });
+        out
+    }
+
+    /// The fixed candidate list of the first step under empty registers.
+    fn root_candidates(&self) -> Option<crate::probe::Candidates<'_>> {
+        let step = self.plan.steps.first()?;
+        let regs = Registers::new(self.plan.slots.len());
+        step.spec
+            .candidates(&self.index, self.handles[0].as_ref(), &regs)
+    }
+
+    /// Runs the search with the first step's candidate iteration restricted
+    /// to `shard`; depths ≥ 1 are the ordinary search.
+    fn run_shard(
+        &self,
+        shard: std::ops::Range<usize>,
+        regs: &mut Registers,
+        on_match: &mut dyn FnMut(&Registers) -> bool,
+    ) -> bool {
+        let Some(step) = self.plan.steps.first() else {
+            // The empty query has a single (empty) search node; by
+            // convention it lives in the shard containing index 0.
+            return shard.start == 0 && on_match(regs);
+        };
+        let Some(candidates) = step
+            .spec
+            .candidates(&self.index, self.handles[0].as_ref(), regs)
+        else {
+            return false;
+        };
+        let ids = candidates.ids();
+        let lo = shard.start.min(ids.len());
+        let hi = shard.end.min(ids.len());
+        let mut writes: Vec<Slot> = Vec::new();
+        let mut found = false;
+        for &fid in &ids[lo..hi] {
+            regs.undo(&mut writes);
+            let fact = self.index.fact(FactId::from_index(fid as usize));
+            if step.spec.apply(fact, regs, &mut writes) && self.search(1, regs, on_match) {
+                found = true;
+                break;
+            }
+        }
+        regs.undo(&mut writes);
+        found
+    }
+
     fn run(&self, regs: &mut Registers, on_match: &mut dyn FnMut(&Registers) -> bool) -> bool {
         self.search(0, regs, on_match)
     }
@@ -397,6 +514,63 @@ mod tests {
         assert!(plan.satisfies(&db));
         assert_eq!(plan.all_valuations(&db).len(), 1);
         assert!(plan.explain().contains("empty query"));
+    }
+
+    #[test]
+    fn shards_recombine_to_the_full_answer() {
+        let schema = cqa_data::Schema::from_relations([("C", 3, 2), ("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let q = ConjunctiveQuery::builder(schema.clone())
+            .atom("C", [Term::var("x"), Term::var("y"), Term::var("c")])
+            .atom("R", [Term::var("x"), Term::var("r")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap();
+        let db = catalog::conference_database();
+        let index = db.index();
+        let plan = QueryPlan::compile(&q, Some(index.statistics()));
+        let prepared = plan.prepare(&index);
+        let width = prepared.root_width().expect("non-empty plan");
+        assert!(width > 0);
+        let full = prepared.answers();
+        let full_satisfies = prepared.satisfies();
+        // Partition 0..width into k shards, for several k (including more
+        // shards than candidates): unions and disjunctions must recombine.
+        for shards in [1usize, 2, 3, 7, width + 3] {
+            let per = width.div_ceil(shards);
+            let mut union = BTreeSet::new();
+            let mut any = false;
+            for s in 0..shards {
+                let range = s * per..((s + 1) * per).min(width);
+                union.extend(prepared.answers_shard(range.clone()));
+                any |= prepared.satisfies_shard(range);
+            }
+            assert_eq!(union, full, "answers with {shards} shards");
+            assert_eq!(any, full_satisfies, "satisfies with {shards} shards");
+        }
+        // Out-of-range shards are clamped to empty.
+        assert!(prepared.answers_shard(width + 10..width + 20).is_empty());
+        assert!(!prepared.satisfies_shard(width..width));
+    }
+
+    #[test]
+    fn empty_plans_have_no_root_width_and_positive_work() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let empty = ConjunctiveQuery::boolean(schema.clone(), Vec::new()).unwrap();
+        let plan = QueryPlan::compile(&empty, None);
+        let db = UncertainDatabase::new(schema);
+        let index = db.index();
+        let prepared = plan.prepare(&index);
+        assert_eq!(prepared.root_width(), None);
+        // Shard 0 carries the single empty search node.
+        assert!(prepared.satisfies_shard(0..1));
+        assert!(!prepared.satisfies_shard(1..2));
+        assert!(plan.estimated_work() >= 0.0);
+        let q = catalog::conference().query;
+        assert!(QueryPlan::compile(&q, None).estimated_work() >= 1.0);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Parallel certain answers: sharding the candidate-answer space.
+//!
+//! The paper restricts attention to Boolean queries ("the restriction is
+//! not fundamental", Section 3); `cqa_core::answers` lifts the solvers to
+//! free variables by checking, for every **possible answer** (an answer on
+//! the database itself — the candidate set, by monotonicity), whether the
+//! grounded Boolean query is certain. Those per-candidate checks share
+//! nothing but the immutable snapshot, which makes the candidate space the
+//! natural shard axis: split it into chunks, decide each chunk's candidates
+//! on a worker, and merge the surviving tuples into one ordered set — the
+//! merge is a set union into a `BTreeSet`, so the result is byte-identical
+//! at every thread count.
+
+use crate::pool::{chunk_ranges, par_map, ParPool};
+use crate::ParConfig;
+use cqa_core::answers::{possible_answers, shared_plan_cache, tuple_is_certain, AnswerSets};
+use cqa_data::{Snapshot, Value};
+use cqa_query::{ConjunctiveQuery, QueryError};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Computes the certain answers of a (possibly non-Boolean) conjunctive
+/// query without self-joins, sharding the per-candidate certainty checks
+/// across `pool` — the parallel counterpart of
+/// [`cqa_core::answers::certain_answers`], with an identical result at
+/// every thread count.
+///
+/// The sequential cutoff weighs the candidate count against the compiled
+/// satisfaction plan's [estimated work](cqa_exec::QueryPlan::estimated_work)
+/// (the cost-model proxy for one per-candidate check): small problems never
+/// touch the pool.
+pub fn certain_answers_par(
+    query: &ConjunctiveQuery,
+    snapshot: &Snapshot,
+    pool: &ParPool,
+    config: &ParConfig,
+) -> Result<AnswerSets, QueryError> {
+    let db = snapshot.database();
+    let possible = possible_answers(query, db)?;
+    let free = query.free_vars().to_vec();
+
+    let plan = shared_plan_cache().plan(query, Some(snapshot.index().statistics()));
+    let estimated = possible.len() as f64 * plan.estimated_work().max(1.0);
+    if pool.thread_count() == 1 || possible.len() < 2 || estimated < config.sequential_cutoff {
+        let mut certain = BTreeSet::new();
+        for tuple in &possible {
+            if tuple_is_certain(query, &free, tuple, db)? {
+                certain.insert(tuple.clone());
+            }
+        }
+        return Ok(AnswerSets { certain, possible });
+    }
+
+    let candidates: Arc<Vec<Vec<Value>>> = Arc::new(possible.iter().cloned().collect());
+    let chunks = chunk_ranges(
+        candidates.len(),
+        pool.thread_count() * config.chunks_per_thread,
+    );
+    let query = Arc::new(query.clone());
+    let free = Arc::new(free);
+    let snapshot = snapshot.clone();
+    let per_chunk = par_map(pool, chunks, move |_, range| {
+        let mut certain: Vec<Vec<Value>> = Vec::new();
+        for tuple in &candidates[range] {
+            if tuple_is_certain(&query, &free, tuple, snapshot.database())? {
+                certain.push(tuple.clone());
+            }
+        }
+        Ok::<_, QueryError>(certain)
+    });
+
+    let mut certain = BTreeSet::new();
+    for chunk in per_chunk {
+        certain.extend(chunk?);
+    }
+    Ok(AnswerSets { certain, possible })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_core::answers::certain_answers;
+    use cqa_query::{catalog, Term, Variable};
+
+    fn free_x_conference() -> ConjunctiveQuery {
+        let schema = catalog::conference().query.schema().clone();
+        ConjunctiveQuery::builder(schema)
+            .atom(
+                "C",
+                [Term::var("x"), Term::var("y"), Term::constant("Rome")],
+            )
+            .atom("R", [Term::var("x"), Term::constant("A")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_answers_match_the_sequential_path() {
+        let query = free_x_conference();
+        let db = catalog::conference_database();
+        let snap = db.snapshot();
+        let sequential = certain_answers(&query, &db).unwrap();
+        for threads in [1usize, 2, 7] {
+            let pool = ParPool::new(threads);
+            let par =
+                certain_answers_par(&query, &snap, &pool, &ParConfig::always_parallel()).unwrap();
+            assert_eq!(par, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn the_cutoff_routes_small_problems_sequentially() {
+        let query = free_x_conference();
+        let db = catalog::conference_database();
+        let snap = db.snapshot();
+        let pool = ParPool::new(4);
+        let config = ParConfig {
+            sequential_cutoff: f64::INFINITY,
+            ..ParConfig::default()
+        };
+        let answers = certain_answers_par(&query, &snap, &pool, &config).unwrap();
+        assert_eq!(answers, certain_answers(&query, &db).unwrap());
+    }
+
+    #[test]
+    fn self_joins_are_rejected_like_the_sequential_path() {
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let query = ConjunctiveQuery::builder(schema.clone())
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .atom("R", [Term::var("y"), Term::var("z")])
+            .build()
+            .unwrap();
+        let db = cqa_data::UncertainDatabase::new(schema);
+        let snap = db.snapshot();
+        let pool = ParPool::new(2);
+        assert!(certain_answers_par(&query, &snap, &pool, &ParConfig::default()).is_err());
+    }
+}

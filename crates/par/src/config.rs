@@ -1,0 +1,56 @@
+//! Tuning knobs for the parallel evaluation layer.
+
+/// Configuration of the parallel entry points.
+///
+/// The defaults are deliberately conservative: parallelism only pays once a
+/// problem's estimated work dwarfs the cost of queueing jobs and merging
+/// results, and the `cqa-exec` cost model supplies exactly that estimate
+/// ([`cqa_exec::QueryPlan::estimated_work`] /
+/// [`cqa_exec::FoPlan::estimated_work`]).
+#[derive(Clone, Debug)]
+pub struct ParConfig {
+    /// Evaluations whose cost-model estimate falls below this threshold run
+    /// sequentially on the calling thread — sharding them would spend more
+    /// on queueing and merging than the evaluation itself costs.
+    pub sequential_cutoff: f64,
+    /// Shard granularity: the candidate space is split into
+    /// `threads × chunks_per_thread` chunks, so the work-stealing pool can
+    /// rebalance when chunks turn out uneven (> 1 chunk per thread) without
+    /// drowning in per-chunk overhead (bounded by this factor).
+    pub chunks_per_thread: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            sequential_cutoff: 10_000.0,
+            chunks_per_thread: 4,
+        }
+    }
+}
+
+impl ParConfig {
+    /// A configuration that parallelizes unconditionally — every shardable
+    /// evaluation goes through the pool regardless of its estimate. Used by
+    /// the property suite (agreement must hold even where parallelism does
+    /// not pay) and the scaling benchmark.
+    pub fn always_parallel() -> Self {
+        ParConfig {
+            sequential_cutoff: 0.0,
+            ..ParConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ParConfig::default();
+        assert!(config.sequential_cutoff > 0.0);
+        assert!(config.chunks_per_thread >= 1);
+        assert_eq!(ParConfig::always_parallel().sequential_cutoff, 0.0);
+    }
+}

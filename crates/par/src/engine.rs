@@ -1,0 +1,190 @@
+//! The parallel certainty engine for Boolean queries.
+//!
+//! `CERTAINTY(q)` is a data-complexity problem: the query is fixed, the
+//! instance is large. Once the [`CertaintyEngine`] has compiled its plans,
+//! evaluating them is a loop over a **root candidate space** — the facts of
+//! the first join step ([`cqa_exec::QueryPlan`]) or of the rewriting's
+//! first eliminated atom ([`cqa_exec::FoPlan`]) — and the search below each
+//! candidate is independent of the others. [`ParallelEngine`] shards that
+//! loop across the worker pool and merges with a plain disjunction, which
+//! is associative and commutative: the verdict is identical at every thread
+//! count.
+//!
+//! Queries outside the Theorem 1 region have no compiled rewriting to
+//! shard; their `is_certain` falls back to the sequential solver (the
+//! candidate-space parallelism of
+//! [`certain_answers_par`](crate::certain_answers_par) still applies to
+//! their non-Boolean variants).
+
+use crate::pool::{chunk_ranges, par_any, ParPool};
+use crate::ParConfig;
+use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
+use cqa_data::Snapshot;
+use cqa_query::{ConjunctiveQuery, QueryError};
+use std::sync::Arc;
+
+/// A [`CertaintyEngine`] plus a worker pool: the same classification and
+/// compiled plans, with the plan executions sharded across threads when the
+/// cost model says the problem is big enough.
+pub struct ParallelEngine {
+    engine: Arc<CertaintyEngine>,
+    pool: ParPool,
+    config: ParConfig,
+}
+
+impl ParallelEngine {
+    /// Classifies `query` (see [`CertaintyEngine::new`]) and attaches the
+    /// pool the sharded evaluations will run on.
+    pub fn new(
+        query: &ConjunctiveQuery,
+        pool: ParPool,
+        config: ParConfig,
+    ) -> Result<Self, QueryError> {
+        Ok(ParallelEngine {
+            engine: Arc::new(CertaintyEngine::new(query)?),
+            pool,
+            config,
+        })
+    }
+
+    /// The wrapped sequential engine (classification, solver name,
+    /// `explain`, …).
+    pub fn engine(&self) -> &CertaintyEngine {
+        &self.engine
+    }
+
+    /// The pool sharded evaluations run on.
+    pub fn pool(&self) -> &ParPool {
+        &self.pool
+    }
+
+    /// True iff **every repair** of the snapshot satisfies the query —
+    /// [`CertaintyEngine::is_certain`], with the compiled rewriting's root
+    /// scan sharded across the pool when the query is in the Theorem 1
+    /// region and the cost model clears the sequential cutoff. The verdict
+    /// is identical to the sequential engine's at every thread count.
+    pub fn is_certain(&self, snapshot: &Snapshot) -> bool {
+        let db = snapshot.database();
+        let width = self.engine.rewriting_plan(db).and_then(|plan| {
+            if plan.estimated_work() < self.config.sequential_cutoff {
+                return None;
+            }
+            plan.prepare(snapshot.index()).root_shard_width()
+        });
+        let Some(width) = width else {
+            return self.engine.is_certain(db);
+        };
+        let chunks = chunk_ranges(
+            width,
+            self.pool.thread_count() * self.config.chunks_per_thread,
+        );
+        if chunks.len() <= 1 {
+            return self.engine.is_certain(db);
+        }
+        let engine = self.engine.clone();
+        let snapshot = snapshot.clone();
+        par_any(&self.pool, chunks, move |range| {
+            let plan = engine
+                .rewriting_plan(snapshot.database())
+                .expect("the rewriting plan was compiled before sharding");
+            plan.prepare(snapshot.index()).eval_root_shard(range)
+        })
+    }
+
+    /// True iff **some repair** satisfies the query —
+    /// [`CertaintyEngine::is_possible`], with the satisfaction join plan's
+    /// first step sharded across the pool past the cutoff. Identical to the
+    /// sequential verdict at every thread count.
+    pub fn is_possible(&self, snapshot: &Snapshot) -> bool {
+        let db = snapshot.database();
+        let plan = self.engine.satisfaction_plan(db);
+        let width = if plan.estimated_work() < self.config.sequential_cutoff {
+            None
+        } else {
+            plan.prepare(snapshot.index()).root_width()
+        };
+        let Some(width) = width else {
+            return self.engine.is_possible(db);
+        };
+        let chunks = chunk_ranges(
+            width,
+            self.pool.thread_count() * self.config.chunks_per_thread,
+        );
+        if chunks.len() <= 1 {
+            return self.engine.is_possible(db);
+        }
+        let engine = self.engine.clone();
+        let snapshot = snapshot.clone();
+        par_any(&self.pool, chunks, move |range| {
+            engine
+                .satisfaction_plan(snapshot.database())
+                .prepare(snapshot.index())
+                .satisfies_shard(range)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::catalog;
+
+    fn snapshot() -> Snapshot {
+        catalog::conference_database().snapshot()
+    }
+
+    #[test]
+    fn parallel_verdicts_match_the_sequential_engine() {
+        let q = catalog::conference().query;
+        let snap = snapshot();
+        let sequential = CertaintyEngine::new(&q).unwrap();
+        for threads in [1usize, 2, 7] {
+            let par = ParallelEngine::new(&q, ParPool::new(threads), ParConfig::always_parallel())
+                .unwrap();
+            assert_eq!(
+                par.is_certain(&snap),
+                sequential.is_certain(snap.database()),
+                "{threads} threads"
+            );
+            assert_eq!(
+                par.is_possible(&snap),
+                sequential.is_possible(snap.database()),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn below_the_cutoff_the_sequential_path_answers() {
+        let q = catalog::conference().query;
+        let snap = snapshot();
+        let par = ParallelEngine::new(
+            &q,
+            ParPool::new(2),
+            ParConfig {
+                sequential_cutoff: f64::INFINITY,
+                ..ParConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!par.is_certain(&snap));
+        assert!(par.is_possible(&snap));
+        assert_eq!(par.engine().solver_name(), "rewriting");
+        assert!(par.pool().thread_count() >= 1);
+    }
+
+    #[test]
+    fn non_rewriting_solvers_fall_back_sequentially() {
+        // q1 dispatches to the exact oracle: no rewriting plan to shard.
+        let entry = catalog::q1();
+        let db = cqa_data::UncertainDatabase::new(entry.query.schema().clone());
+        let snap = db.snapshot();
+        let par = ParallelEngine::new(&entry.query, ParPool::new(2), ParConfig::always_parallel())
+            .unwrap();
+        assert_eq!(par.engine().solver_name(), "exact-oracle");
+        // An empty database satisfies nothing, and certainty of a
+        // non-empty query fails on it.
+        assert!(!par.is_certain(&snap));
+        assert!(!par.is_possible(&snap));
+    }
+}

@@ -217,29 +217,12 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
     let mut queries = Vec::new();
     for (line_no, line) in query_lines {
         let rest = line.strip_prefix("certain").expect("checked above").trim();
-        let (head, body) = rest
-            .split_once(":-")
-            .ok_or_else(|| err(line_no, "expected `certain <name>[(vars)] :- <atoms>`"))?;
-        let head = head.trim();
-        let (name, free) = if head.contains('(') {
-            let (name, vars) = split_call(line_no, head)?;
-            (
-                name,
-                vars.iter()
-                    .filter(|v| !v.is_empty())
-                    .map(Variable::new)
-                    .collect(),
-            )
-        } else {
-            (head.to_string(), Vec::new())
-        };
-        let name = if name.is_empty() {
-            format!("q{line_no}")
-        } else {
-            name
-        };
-        let query = parse_query_body(&schema, body, free, line_no)?;
-        queries.push((name, query));
+        // The document format stays strict (a missing `:-` is a typo to
+        // report); only the interactive serve stream accepts a bare body.
+        if !rest.contains(":-") {
+            return Err(err(line_no, "expected `certain <name>[(vars)] :- <atoms>`"));
+        }
+        queries.push(parse_query_line(&schema, rest, line_no)?);
     }
 
     Ok(Document {
@@ -247,6 +230,41 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
         database,
         queries,
     })
+}
+
+/// Parses one named query line `name[(vars)] :- R(x, "a"), S(y, x)` (the
+/// part after the `certain` keyword of a document, or one line of a
+/// `certainty serve` stream; a bare `:- body` or even a bare `body` gets
+/// the synthesized name `q<line>`). Returns the name and the parsed query.
+pub fn parse_query_line(
+    schema: &Arc<Schema>,
+    line: &str,
+    line_no: usize,
+) -> Result<(String, ConjunctiveQuery), ParseError> {
+    let line = line.trim();
+    let (head, body) = match line.split_once(":-") {
+        Some((head, body)) => (head.trim(), body),
+        None => ("", line),
+    };
+    let (name, free) = if head.contains('(') {
+        let (name, vars) = split_call(line_no, head)?;
+        (
+            name,
+            vars.iter()
+                .filter(|v| !v.is_empty())
+                .map(Variable::new)
+                .collect(),
+        )
+    } else {
+        (head.to_string(), Vec::new())
+    };
+    let name = if name.is_empty() {
+        format!("q{line_no}")
+    } else {
+        name
+    };
+    let query = parse_query_body(schema, body, free, line_no)?;
+    Ok((name, query))
 }
 
 #[cfg(test)]
@@ -319,6 +337,29 @@ certain which(x) :- C(x, y, "Rome"), R(x, "A")
         // In the query, x is a variable and "y" a constant.
         assert_eq!(q.vars().len(), 1);
         assert!(cqa_query::eval::satisfies(&doc.database, q));
+    }
+
+    #[test]
+    fn query_lines_parse_standalone() {
+        // The `certainty serve` stream format: one query per line, with or
+        // without a head.
+        let doc = parse_document(CONFERENCE).unwrap();
+        let (name, q) = parse_query_line(&doc.schema, "rome :- C(x, y, \"Rome\")", 1).unwrap();
+        assert_eq!(name, "rome");
+        assert!(q.is_boolean());
+        let (name, q) = parse_query_line(&doc.schema, "which(x) :- R(x, \"A\")", 2).unwrap();
+        assert_eq!(name, "which");
+        assert_eq!(q.free_vars().len(), 1);
+        // A bare body gets a synthesized name.
+        let (name, q) = parse_query_line(&doc.schema, "C(x, y, \"Rome\")", 7).unwrap();
+        assert_eq!(name, "q7");
+        assert_eq!(q.len(), 1);
+        assert!(parse_query_line(&doc.schema, "q :- T(x)", 3).is_err());
+        // The bare-body leniency is serve-only: the document format still
+        // rejects a `certain` line without `:-`.
+        let strict = parse_document("relation R(a*)\ncertain R(x)\n").unwrap_err();
+        assert_eq!(strict.line, 2);
+        assert!(strict.to_string().contains(":-"));
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl Error for BidError {}
 /// probabilities sum to at most 1) and distinct blocks are independent.
 ///
 /// The efficient encoding of Section 7.1 is used: only the marginal
-/// probability of each fact is stored; by Dalvi–Suciu (Theorem 2.4 of [8])
+/// probability of each fact is stored; by Dalvi–Suciu (Theorem 2.4 of \[8\])
 /// this determines the distribution over possible worlds uniquely.
 #[derive(Clone, Debug)]
 pub struct BidDatabase {

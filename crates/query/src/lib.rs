@@ -45,7 +45,7 @@ pub use atom::{Atom, AtomId};
 pub use error::QueryError;
 pub use fo_formula::FoFormula;
 pub use join_tree::JoinTree;
-pub use query::ConjunctiveQuery;
+pub use query::{ConjunctiveQuery, QueryBuilder};
 pub use term::{Term, Variable};
 pub use valuation::Valuation;
 pub use varset::{VarIndex, VarSet};

@@ -15,6 +15,9 @@
 //!   queries, operator plans for certain rewritings, plan caching);
 //! * [`core`] — attack graphs, complexity classification, certain-answer
 //!   solvers, certain first-order rewriting, reductions;
+//! * [`par`] — work-stealing parallel evaluation: sharded certain answers,
+//!   root-scan sharded certainty, and the batch engine answering many
+//!   queries over one snapshot;
 //! * [`prob`] — block-independent-disjoint probabilistic databases, `IsSafe`,
 //!   safe-plan evaluation;
 //! * [`gen`] — seeded workload and instance generators;
@@ -28,6 +31,7 @@ pub use cqa_data as data;
 pub use cqa_exec as exec;
 pub use cqa_gen as gen;
 pub use cqa_graph as graph;
+pub use cqa_par as par;
 pub use cqa_parser as parser;
 pub use cqa_prob as prob;
 pub use cqa_query as query;
@@ -40,7 +44,8 @@ pub mod prelude {
         solvers::CertaintyEngine,
         AttackGraph,
     };
-    pub use cqa_data::{Fact, Schema, UncertainDatabase, Value};
+    pub use cqa_data::{Fact, Schema, Snapshot, UncertainDatabase, Value};
     pub use cqa_exec::{FoPlan, PlanCache, QueryPlan};
+    pub use cqa_par::{certain_answers_par, BatchEngine, ParConfig, ParPool, ParallelEngine};
     pub use cqa_query::{Atom, ConjunctiveQuery, Term, Variable};
 }

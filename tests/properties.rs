@@ -7,10 +7,19 @@ use cqa::core::fo::eval::evaluate_sentence;
 use cqa::core::solvers::{CertaintyEngine, CertaintySolver, ExactOracle, RewritingSolver};
 use cqa::exec::{FoPlan, QueryPlan};
 use cqa::gen::{random_acyclic_query, GeneratorConfig, UncertainDbGenerator};
+use cqa::par::{certain_answers_par, ParConfig, ParPool, ParallelEngine};
 use cqa::prob::eval::{probability_exact, probability_over_repairs};
 use cqa::prob::{is_safe, BidDatabase};
 use cqa::query::{catalog, eval, gyo, join_tree, purify};
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared worker pools for the parallel-agreement suite: 1 thread (the
+/// degenerate case), 2, and 7 (odd, so remainder chunks are exercised).
+fn shared_pools() -> &'static Vec<ParPool> {
+    static POOLS: OnceLock<Vec<ParPool>> = OnceLock::new();
+    POOLS.get_or_init(|| [1usize, 2, 7].into_iter().map(ParPool::new).collect())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -269,5 +278,64 @@ proptest! {
             "fo plan vs model checker, {} seed {}\n{}", entry.name, seed, fo_plan.explain());
         prop_assert_eq!(compiled_verdict, solver.is_certain_interpreted(&db),
             "fo plan vs interpreted recursion, {} seed {}\n{}", entry.name, seed, fo_plan.explain());
+    }
+}
+
+proptest! {
+    // 256 cases: the parallel layer is cross-checked against the sequential
+    // path on well over 200 randomized generator instances per run, at
+    // every pool size (1, 2 and 7 threads — 7 is deliberately odd so the
+    // remainder chunk of an uneven split is exercised).
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Parallel and sequential evaluation agree **exactly**: `certain_answers`
+    /// (candidate-space sharding, ordered-set merge) returns byte-identical
+    /// answer sets, and `is_certain` / `is_possible` (root-scan sharding,
+    /// disjunction merge) return identical verdicts, at every thread count.
+    /// The cutoff is forced to zero so every case actually crosses the pool.
+    #[test]
+    fn parallel_evaluation_agrees_with_sequential(seed in 0u64..100_000, which in 0usize..3) {
+        let entry = match which {
+            0 => catalog::conference(),
+            1 => catalog::fo_path2(),
+            _ => catalog::fo_path3(),
+        };
+        let q = entry.query;
+        let db = UncertainDbGenerator::new(&q, GeneratorConfig {
+            seed,
+            matches: 1 + (seed % 5) as usize,
+            domain_per_variable: 2 + (seed % 3) as usize,
+            extra_block_facts: (seed % 3) as usize,
+            alternative_join_probability: 0.6,
+        }).generate();
+        let snapshot = db.snapshot();
+        let config = ParConfig::always_parallel();
+
+        // Non-Boolean: free the first variable, compare full answer sets.
+        let free_q = cqa::query::ConjunctiveQuery::with_free_vars(
+            q.schema().clone(),
+            q.atoms().to_vec(),
+            vec![cqa::query::Variable::new("x")],
+        ).unwrap();
+        let sequential = cqa::core::answers::certain_answers(&free_q, &db).unwrap();
+        for pool in shared_pools() {
+            let parallel = certain_answers_par(&free_q, &snapshot, pool, &config).unwrap();
+            prop_assert_eq!(
+                &parallel, &sequential,
+                "certain_answers at {} threads, {} seed {}", pool.thread_count(), entry.name, seed
+            );
+        }
+
+        // Boolean: certainty and possibility verdicts.
+        let engine = CertaintyEngine::new(&q).unwrap();
+        let certain = engine.is_certain(&db);
+        let possible = engine.is_possible(&db);
+        for pool in shared_pools() {
+            let par = ParallelEngine::new(&q, pool.clone(), config.clone()).unwrap();
+            prop_assert_eq!(par.is_certain(&snapshot), certain,
+                "is_certain at {} threads, {} seed {}", pool.thread_count(), entry.name, seed);
+            prop_assert_eq!(par.is_possible(&snapshot), possible,
+                "is_possible at {} threads, {} seed {}", pool.thread_count(), entry.name, seed);
+        }
     }
 }

@@ -1,0 +1,310 @@
+//! A small work-stealing thread pool, vendored offline.
+//!
+//! The pool backs the `cqa-par` parallel evaluation layer. It is
+//! deliberately tiny — a few hundred lines of safe `std`-only code — and
+//! implements exactly the execution model that layer needs:
+//!
+//! * a fixed set of worker threads, spawned once and joined on [`Drop`];
+//! * one job deque **per worker**: submission distributes jobs round-robin,
+//!   each worker pops from its own deque first and **steals** from the other
+//!   deques when its own runs dry, so an uneven chunk split cannot strand
+//!   work behind a slow worker;
+//! * a condition variable so idle workers sleep instead of spinning.
+//!
+//! Jobs are `FnOnce() + Send + 'static` closures; completion and result
+//! collection are the caller's business (the `cqa-par` layer uses an
+//! `std::sync::mpsc` channel carrying chunk indexes, which also makes result
+//! merging deterministic). Panics inside a job abort the process politely:
+//! the worker thread reports the panic and the pool keeps serving — a
+//! panicked job simply never reports a result.
+//!
+//! This is *not* a general-purpose replacement for `rayon`: there is no
+//! scoped borrowing, no fork-join splitting, no adaptive chunking. It is the
+//! smallest pool that makes candidate-space sharding scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// A unit of work: boxed so jobs of different shapes share one deque.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the submitting side and the workers.
+///
+/// The sleep/wake handshake uses a **token** counter rather than a live
+/// queue-length count: every submission pushes its job first and then banks
+/// one token; a waking worker spends one token and re-sweeps every deque.
+/// Tokens can only *over*-count outstanding work (a job may be stolen by a
+/// worker that never slept, leaving its token to cause one empty sweep
+/// later), never under-count it — so a banked token always guarantees the
+/// corresponding job is already visible to the sweep, and a worker only
+/// goes to sleep after a full sweep found every deque empty. Over-counting
+/// costs at most one wasted sweep per job; under-counting (the bug this
+/// design rules out) would let a worker spin or sleep on work it can see.
+struct Shared {
+    /// One deque per worker; `queues[i]` is worker `i`'s own deque.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Wake tokens banked by submitters, spent by waking workers.
+    tokens: Mutex<usize>,
+    /// Signalled whenever a token is banked or shutdown begins.
+    available: Condvar,
+    /// Set by [`ThreadPool::drop`]; workers exit once the deques are empty.
+    shutdown: AtomicBool,
+    /// Round-robin cursor for job placement.
+    next: AtomicUsize,
+}
+
+impl Shared {
+    /// Claims one job for worker `who`: its own deque first (newest first,
+    /// for locality), then a steal sweep over the other deques (oldest
+    /// first, the classic stealing order). `None` means every deque was
+    /// empty at the moment its lock was held.
+    fn claim(&self, who: usize) -> Option<Job> {
+        let n = self.queues.len();
+        for offset in 0..n {
+            let i = (who + offset) % n;
+            let job = {
+                let mut queue = self.queues[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if offset == 0 {
+                    queue.pop_back()
+                } else {
+                    queue.pop_front()
+                }
+            };
+            if job.is_some() {
+                return job;
+            }
+        }
+        None
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// ```
+/// use std::sync::mpsc;
+///
+/// let pool = workpool::ThreadPool::new(4);
+/// let (tx, rx) = mpsc::channel();
+/// for i in 0..100u64 {
+///     let tx = tx.clone();
+///     pool.execute(move || { let _ = tx.send(i * i); });
+/// }
+/// drop(tx);
+/// assert_eq!(rx.iter().sum::<u64>(), (0..100).map(|i| i * i).sum());
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            tokens: Mutex::new(0),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("workpool-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawning a pool worker failed")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// A pool sized to the machine: one worker per available hardware
+    /// thread.
+    pub fn with_available_parallelism() -> ThreadPool {
+        ThreadPool::new(available_parallelism())
+    }
+
+    /// Number of worker threads.
+    pub fn thread_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job. Jobs are distributed round-robin over the worker
+    /// deques; an idle worker whose own deque is empty steals from the
+    /// others, so placement only affects locality, never completion.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let i = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(Box::new(job));
+        // Bank the wake token only after the job is visible in its deque:
+        // a worker that spends this token is then guaranteed to find the
+        // job (or to find it already claimed by another worker's sweep).
+        let mut tokens = self
+            .shared
+            .tokens
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *tokens += 1;
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for ThreadPool {
+    /// Finishes every queued job, then joins the workers.
+    fn drop(&mut self) {
+        {
+            // Set the flag and notify while holding the condvar's mutex:
+            // a worker is then either before its lock acquisition (it will
+            // re-check `shutdown` under the lock), inside `wait` (the
+            // notification wakes it), or between check and wait — a state
+            // that cannot exist while we hold the lock, closing the
+            // lost-wakeup window that would leave `join` hanging forever.
+            let _guard = self
+                .shared
+                .tokens
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The number of hardware threads, with a serial fallback of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn worker_loop(shared: &Shared, who: usize) {
+    loop {
+        if let Some(job) = shared.claim(who) {
+            // A panicking job must not take the worker down with it: the
+            // submitter finds out because the job never reports a result.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            continue;
+        }
+        // Full sweep found nothing: sleep until a token is banked. Spending
+        // a token re-enters the sweep; a token whose job was already stolen
+        // costs one empty sweep and the worker sleeps again.
+        let mut tokens = shared.tokens.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if *tokens > 0 {
+                *tokens -= 1;
+                break;
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            tokens = shared
+                .available
+                .wait(tokens)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.thread_count(), 4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..500u64 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                let _ = tx.send(i);
+            });
+        }
+        drop(tx);
+        let mut seen: Vec<u64> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..100 {
+                let counter = counter.clone();
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn stealing_lets_idle_workers_finish_anothers_backlog() {
+        // Two workers; the round-robin placement puts half the jobs in each
+        // deque, but worker 0 is blocked until the gate opens, so worker 1
+        // must steal worker 0's share for the batch to finish promptly.
+        let pool = ThreadPool::new(2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (tx, rx) = mpsc::channel();
+        {
+            let gate = gate.clone();
+            pool.execute(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        for i in 0..50u32 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                let _ = tx.send(i);
+            });
+        }
+        drop(tx);
+        let seen: Vec<u32> = rx.iter().take(50).collect();
+        assert_eq!(seen.len(), 50);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_the_pool() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("job panic"));
+        let (tx, rx) = mpsc::channel();
+        pool.execute(move || {
+            let _ = tx.send(42);
+        });
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.thread_count(), 1);
+        assert!(available_parallelism() >= 1);
+    }
+}
