@@ -76,6 +76,14 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let host_cpus = workpool_cpus();
     let runs = if quick { 1 } else { 2 };
+    if host_cpus == 1 {
+        eprintln!(
+            "WARNING: this host reports 1 CPU. Every thread count time-slices a single core, \
+             so the curve below measures parallelization overhead, not speedup — expect ~1x \
+             everywhere. The determinism assertions still hold; re-run on a multi-core host \
+             for the scaling story."
+        );
+    }
 
     // The acceptance workload: the 3-atom chain at n = 2200 (~13k facts),
     // with x freed so the candidate-answer space is ~n tuples; plus the
@@ -190,8 +198,13 @@ fn main() {
         entries.push(entry);
     }
 
+    let caveat = if host_cpus == 1 {
+        "\n  \"caveat\": \"host_cpus == 1: all thread counts time-slice a single core, so these speedups measure parallelization overhead, not multi-core scaling\","
+    } else {
+        ""
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"sequential vs work-stealing parallel certainty evaluation\",\n  \"generated_by\": \"cargo run --release -p cqa-bench --bin bench_par\",\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},\n  \"note\": \"every parallel result is asserted byte-identical to the sequential one before timing; speedups above 1x require host_cpus > 1 (thread counts beyond host_cpus time-slice one core)\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"sequential vs work-stealing parallel certainty evaluation\",\n  \"generated_by\": \"cargo run --release -p cqa-bench --bin bench_par\",\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},{caveat}\n  \"note\": \"every parallel result is asserted byte-identical to the sequential one before timing; speedups above 1x require host_cpus > 1 (thread counts beyond host_cpus time-slice one core)\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
 

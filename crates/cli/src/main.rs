@@ -24,7 +24,7 @@
 
 use cqa_core::answers::certain_answers;
 use cqa_core::classify::classify;
-use cqa_core::fo::{certain_rewriting, sql::to_sql};
+use cqa_core::fo::{certain_rewriting, certain_rewriting_open, sql::to_sql};
 use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
 use cqa_core::AttackGraph;
 use cqa_exec::{FoPlan, QueryPlan};
@@ -151,7 +151,20 @@ fn run() -> Result<(), String> {
                         Err(e) => println!("{name}: no certain first-order rewriting ({e})"),
                     }
                 } else {
-                    println!("{name}: non-Boolean query, rewriting plans apply per answer tuple");
+                    match certain_rewriting_open(query) {
+                        Ok(formula) => {
+                            let fo = FoPlan::compile(&formula, query.schema(), Some(stats));
+                            println!(
+                                "{name}: open certain rewriting plan (Theorem 1; candidate \
+                                 answers decided in batch)"
+                            );
+                            print!("{}", fo.explain());
+                        }
+                        Err(e) => println!(
+                            "{name}: no certain first-order rewriting ({e}); candidate answers \
+                             decided per tuple by the classified solvers"
+                        ),
+                    }
                 }
             }
         }

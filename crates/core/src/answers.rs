@@ -10,10 +10,11 @@
 //! certain — which is decided by the classified solvers of
 //! [`crate::solvers`].
 
+use crate::fo::{certain_rewriting_open, FoFormula};
 use crate::solvers::{CertaintyEngine, CertaintySolver};
 use cqa_data::{UncertainDatabase, Value};
-use cqa_exec::PlanCache;
-use cqa_query::{substitute, ConjunctiveQuery, QueryError};
+use cqa_exec::{ExecMode, FoPlan, PlanCache};
+use cqa_query::{substitute, ConjunctiveQuery, QueryError, Variable};
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
@@ -41,20 +42,140 @@ pub struct AnswerSets {
 /// query without self-joins.
 ///
 /// For a Boolean query the result contains the empty tuple iff the query is
-/// certain.
+/// certain. Internally this builds a [`CertainAnswersEngine`] — classify and
+/// compile once, then decide every candidate through one prepared plan —
+/// rather than re-classifying the grounded query per candidate.
 pub fn certain_answers(
     query: &ConjunctiveQuery,
     db: &UncertainDatabase,
 ) -> Result<AnswerSets, QueryError> {
     let possible = possible_answers(query, db)?;
-    let free = query.free_vars().to_vec();
-    let mut certain = BTreeSet::new();
-    for tuple in &possible {
-        if tuple_is_certain(query, &free, tuple, db)? {
-            certain.insert(tuple.clone());
+    let engine = CertainAnswersEngine::new(query)?;
+    let certain = engine.certain_of(db, &possible)?;
+    Ok(AnswerSets { certain, possible })
+}
+
+/// A compile-once engine for deciding which candidate tuples are certain
+/// answers.
+///
+/// The naive lift of the Boolean solvers grounds the query with each
+/// candidate and classifies + compiles the grounded query from scratch —
+/// per candidate. But the attack graph depends only on the *variable*
+/// structure of the query (constants are opaque to attacks, and a
+/// self-join-free query cannot collapse atoms under a ground substitution),
+/// so every grounding of the same query lands in the same complexity class
+/// with the same rewriting shape. This engine exploits that: it classifies
+/// the query **once**, builds the **open** certain rewriting `φ(x̄)`
+/// ([`certain_rewriting_open`]) with the free variables kept free, compiles
+/// it into a single [`FoPlan`], and then decides all candidates by batch
+/// evaluation ([`cqa_exec::PreparedFo::eval_tuples`]) — which routes large
+/// batches through the vectorized executor.
+///
+/// Queries outside the first-order region (cyclic attack graph) fall back to
+/// the per-candidate [`CertaintyEngine`] path, whose non-FO solvers are
+/// inherently per-ground-query.
+pub struct CertainAnswersEngine {
+    query: ConjunctiveQuery,
+    free: Vec<Variable>,
+    open: Option<OpenRewriting>,
+    mode: ExecMode,
+}
+
+/// The open rewriting `φ(x̄)` and its lazily compiled plan (statistics of the
+/// first database seen pick the guard atoms, mirroring
+/// [`crate::solvers::RewritingSolver`]).
+struct OpenRewriting {
+    formula: FoFormula,
+    plan: OnceLock<FoPlan>,
+}
+
+impl CertainAnswersEngine {
+    /// Classifies `query` and, when its attack graph is acyclic, builds and
+    /// keeps the open certain rewriting. Fails only on malformed queries
+    /// (self-joins); classification failures select the per-candidate
+    /// fallback path instead, so [`certain_of`](Self::certain_of) decides
+    /// exactly the queries [`tuple_is_certain`] decides.
+    pub fn new(query: &ConjunctiveQuery) -> Result<Self, QueryError> {
+        query.require_self_join_free()?;
+        let open = certain_rewriting_open(query)
+            .ok()
+            .map(|formula| OpenRewriting {
+                formula,
+                plan: OnceLock::new(),
+            });
+        Ok(CertainAnswersEngine {
+            query: query.clone(),
+            free: query.free_vars().to_vec(),
+            open,
+            mode: ExecMode::Auto,
+        })
+    }
+
+    /// Overrides the executor mode of the batch path (tests force the
+    /// vectorized and row-at-a-time kernels against each other).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Whether candidates are decided through the compiled open rewriting
+    /// (`true`) or the per-candidate classified-solver fallback (`false`).
+    pub fn uses_open_rewriting(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// The open certain rewriting `φ(x̄)`, if the query is in the
+    /// first-order region.
+    pub fn open_formula(&self) -> Option<&FoFormula> {
+        self.open.as_ref().map(|o| &o.formula)
+    }
+
+    /// The compiled plan of the open rewriting, compiled on first use with
+    /// `db`'s statistics.
+    pub fn open_plan(&self, db: &UncertainDatabase) -> Option<&FoPlan> {
+        self.open.as_ref().map(|open| {
+            open.plan.get_or_init(|| {
+                let index = db.index();
+                FoPlan::compile(&open.formula, self.query.schema(), Some(index.statistics()))
+            })
+        })
+    }
+
+    /// Decides certainty of each candidate tuple: `out[i]` ⇔ the Boolean
+    /// query grounded with `tuples[i]` is certain. This is the batch
+    /// counterpart of [`tuple_is_certain`], byte-identical in its verdicts.
+    pub fn verdicts(
+        &self,
+        db: &UncertainDatabase,
+        tuples: &[Vec<Value>],
+    ) -> Result<Vec<bool>, QueryError> {
+        match self.open_plan(db) {
+            Some(plan) => {
+                let index = db.index();
+                let prepared = plan.prepare(&index).with_mode(self.mode);
+                Ok(prepared.eval_tuples(&self.free, tuples))
+            }
+            None => tuples
+                .iter()
+                .map(|tuple| tuple_is_certain(&self.query, &self.free, tuple, db))
+                .collect(),
         }
     }
-    Ok(AnswerSets { certain, possible })
+
+    /// Filters `candidates` down to the certain answers.
+    pub fn certain_of(
+        &self,
+        db: &UncertainDatabase,
+        candidates: &BTreeSet<Vec<Value>>,
+    ) -> Result<BTreeSet<Vec<Value>>, QueryError> {
+        let tuples: Vec<Vec<Value>> = candidates.iter().cloned().collect();
+        let verdicts = self.verdicts(db, &tuples)?;
+        Ok(tuples
+            .into_iter()
+            .zip(verdicts)
+            .filter_map(|(tuple, certain)| certain.then_some(tuple))
+            .collect())
+    }
 }
 
 /// The **possible answers** of the query: tuples that are answers on `db`
@@ -150,6 +271,75 @@ mod tests {
         let answers = certain_answers(&q, &fixed).unwrap();
         assert_eq!(answers.certain.len(), 1);
         assert!(answers.certain.contains(&Vec::new()));
+    }
+
+    #[test]
+    fn the_engine_matches_the_per_tuple_reference_in_every_mode() {
+        let schema = catalog::conference().query.schema().clone();
+        let query = ConjunctiveQuery::builder(schema)
+            .atom(
+                "C",
+                [Term::var("x"), Term::var("y"), Term::constant("Rome")],
+            )
+            .atom("R", [Term::var("x"), Term::constant("A")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap();
+        let db = catalog::conference_database();
+        let free = query.free_vars().to_vec();
+        // Candidates beyond the possible answers, including a value outside
+        // the active domain, must get the same verdicts as the reference.
+        let mut candidates = possible_answers(&query, &db).unwrap();
+        candidates.insert(vec![Value::str("ICDT")]);
+        candidates.insert(vec![Value::str("never-seen")]);
+        let reference: BTreeSet<Vec<Value>> = candidates
+            .iter()
+            .filter(|t| tuple_is_certain(&query, &free, t, &db).unwrap())
+            .cloned()
+            .collect();
+        for mode in [ExecMode::RowAtATime, ExecMode::Vectorized, ExecMode::Auto] {
+            let engine = CertainAnswersEngine::new(&query).unwrap().with_mode(mode);
+            assert!(engine.uses_open_rewriting());
+            assert_eq!(
+                engine.certain_of(&db, &candidates).unwrap(),
+                reference,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_fo_queries_fall_back_to_the_classified_solvers() {
+        // The attack graph of {R(y;z), S(z;y)} has a cycle among the bound
+        // variables, so no open rewriting exists; the engine must fall back
+        // to the per-candidate classified solvers and still agree with them.
+        let schema = cqa_data::Schema::from_relations([("R", 2, 1), ("S", 2, 1), ("F", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let query = ConjunctiveQuery::builder(schema.clone())
+            .atom("R", [Term::var("y"), Term::var("z")])
+            .atom("S", [Term::var("z"), Term::var("y")])
+            .atom("F", [Term::var("y"), Term::var("w")])
+            .free([Variable::new("w")])
+            .build()
+            .unwrap();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("R", ["a", "b"]).unwrap();
+        db.insert_values("R", ["a", "c"]).unwrap();
+        db.insert_values("S", ["b", "a"]).unwrap();
+        db.insert_values("S", ["c", "a"]).unwrap();
+        db.insert_values("F", ["a", "w1"]).unwrap();
+        db.insert_values("F", ["a", "w2"]).unwrap();
+        let engine = CertainAnswersEngine::new(&query).unwrap();
+        assert!(!engine.uses_open_rewriting());
+        let free = query.free_vars().to_vec();
+        let candidates = possible_answers(&query, &db).unwrap();
+        let reference: BTreeSet<Vec<Value>> = candidates
+            .iter()
+            .filter(|t| tuple_is_certain(&query, &free, t, &db).unwrap())
+            .cloned()
+            .collect();
+        assert_eq!(engine.certain_of(&db, &candidates).unwrap(), reference);
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod sql;
 /// without depending on this crate).
 pub use cqa_query::fo_formula as formula;
 pub use cqa_query::fo_formula::FoFormula;
-pub use rewrite::certain_rewriting;
+pub use rewrite::{certain_rewriting, certain_rewriting_open};

@@ -42,6 +42,48 @@ pub fn certain_rewriting(query: &ConjunctiveQuery) -> Result<FoFormula, QueryErr
     ))
 }
 
+/// Builds an **open** certain rewriting `φ(x̄)` for a query with free
+/// variables `x̄`: for every tuple `t` over the active domain,
+/// `φ(x̄)[x̄ ↦ t]` is a certain rewriting of the ground query `q[x̄ ↦ t]` —
+/// so `t` is a certain answer iff `φ(x̄)` holds under `x̄ ↦ t`.
+///
+/// The recursion of [`certain_rewriting`] already treats enclosing-quantifier
+/// variables as opaque constants; seeding it with the free variables yields
+/// the open formula. This is sound for *every* tuple `t` at once because the
+/// attack graph — and with it the unattacked-atom elimination order — depends
+/// only on the variable structure: constants never participate in keys or
+/// attacks, so `q[x̄ ↦ t]` has the same attack graph for all `t` (including
+/// tuples with repeated components; a self-join-free query has no two atoms
+/// that could collapse under the substitution).
+///
+/// Fails if the query has a self-join, is cyclic, or the attack graph of the
+/// frozen (Boolean) query has a cycle. Boolean queries reduce to
+/// [`certain_rewriting`].
+pub fn certain_rewriting_open(query: &ConjunctiveQuery) -> Result<FoFormula, QueryError> {
+    let free: std::collections::BTreeSet<Variable> = query.free_vars().iter().cloned().collect();
+    if free.is_empty() {
+        return certain_rewriting(query);
+    }
+    query.require_self_join_free()?;
+    // FO-expressibility check on the frozen query (free variables become
+    // placeholder constants, the `q[x̄ ↦ ā]` substitution of Lemma 5).
+    let freeze_map: FxHashMap<Variable, cqa_data::Value> = free
+        .iter()
+        .map(|v| (v.clone(), cqa_data::Value::str(format!("⟂frozen:{v}"))))
+        .collect();
+    let frozen = cqa_query::substitute::substitute_map(query, &freeze_map);
+    let graph = AttackGraph::build(&frozen)?;
+    if !graph.is_acyclic() {
+        return Err(QueryError::Unsupported {
+            reason: "the attack graph has a cycle: CERTAINTY(q) is not first-order expressible \
+                     (Theorem 1)"
+                .into(),
+        });
+    }
+    let mut fresh = 0usize;
+    Ok(rewrite(query, &free, &mut fresh))
+}
+
 fn fresh_var(counter: &mut usize) -> Variable {
     let v = Variable::new(format!("w@{counter}"));
     *counter += 1;

@@ -1,0 +1,309 @@
+//! Columnar (dictionary-encoded) views of a [`DatabaseIndex`] snapshot.
+//!
+//! The row-at-a-time executors in `cqa-exec` spend their time hashing and
+//! cloning [`Value`]s: every probe key re-hashes `Arc<str>` contents and
+//! every register write clones an `Arc`. The vectorized block-at-a-time
+//! executor instead works on **dense codes**:
+//!
+//! * a [`Dictionary`] maps the sorted active domain to dense `u32` codes
+//!   (the sort order makes code comparison order-preserving, though the
+//!   executor only needs equality);
+//! * [`RelationColumns`] stores, per relation, one `u32` column per
+//!   attribute position, with row `r` corresponding to
+//!   `DatabaseIndex::relation_fact_ids(rel)[r]` — the same dense order the
+//!   row engine iterates, so row indices are meaningful to both;
+//! * a [`CodeIndex`] is a hash index over one or two columns whose probe
+//!   key is a single packed `u64` — one integer hash per batch row instead
+//!   of hashing a `Vec<Value>`.
+//!
+//! All three are materialized lazily, once per snapshot, and cached on the
+//! [`DatabaseIndex`] exactly like its [`PositionIndex`]es.
+//!
+//! [`PositionIndex`]: crate::PositionIndex
+
+use crate::{DatabaseIndex, FxHashMap, RelationId, Value};
+use std::sync::Arc;
+
+/// Dense codes for the active domain of one snapshot.
+///
+/// Codes run `0..len()` in the sort order of the underlying values. A value
+/// outside the active domain has no code; probe compilation maps such
+/// constants to an always-empty bucket (no fact can carry them).
+pub struct Dictionary {
+    values: Arc<[Value]>,
+}
+
+impl Dictionary {
+    fn new(values: Arc<[Value]>) -> Self {
+        Dictionary { values }
+    }
+
+    /// The code of `value`, or `None` when it is outside the active domain.
+    pub fn code_of(&self, value: &Value) -> Option<u32> {
+        self.values
+            .binary_search_by(|v| v.cmp(value))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// The value a code decodes to.
+    pub fn value(&self, code: u32) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// Number of coded values (= active-domain size).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff the active domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// The dictionary-encoded columns of one relation.
+///
+/// `column(p)[r]` is the code of the value at position `p` of the relation's
+/// `r`-th fact, where rows follow
+/// [`DatabaseIndex::relation_fact_ids`] order — the vectorized and
+/// row-at-a-time engines agree on what "row `r`" means.
+pub struct RelationColumns {
+    columns: Vec<Vec<u32>>,
+    rows: usize,
+}
+
+impl RelationColumns {
+    /// The code column at one attribute position.
+    pub fn column(&self, position: usize) -> &[u32] {
+        &self.columns[position]
+    }
+
+    /// Number of rows (= facts of the relation).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+}
+
+/// The columnar view of a whole snapshot: the dictionary plus one
+/// [`RelationColumns`] per relation.
+pub struct Columnar {
+    dictionary: Dictionary,
+    relations: Vec<RelationColumns>,
+}
+
+impl Columnar {
+    pub(crate) fn build(index: &DatabaseIndex) -> Self {
+        let dictionary = Dictionary::new(index.active_domain_shared());
+        let relations = (0..index.relation_count())
+            .map(|rel| {
+                let rel = RelationId::from_index(rel);
+                let fact_ids = index.relation_fact_ids(rel);
+                let arity = index.arity(rel);
+                let mut columns = vec![Vec::with_capacity(fact_ids.len()); arity];
+                for &fid in fact_ids {
+                    let fact = index.fact(crate::FactId(fid));
+                    for (pos, value) in fact.values().iter().enumerate() {
+                        let code = dictionary
+                            .code_of(value)
+                            .expect("every fact value is in the active domain");
+                        columns[pos].push(code);
+                    }
+                }
+                RelationColumns {
+                    columns,
+                    rows: fact_ids.len(),
+                }
+            })
+            .collect();
+        Columnar {
+            dictionary,
+            relations,
+        }
+    }
+
+    /// The snapshot's dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The code columns of one relation.
+    pub fn relation(&self, relation: RelationId) -> &RelationColumns {
+        &self.relations[relation.index()]
+    }
+}
+
+/// A hash index of one relation over the packed codes of one or two
+/// positions: the vectorized counterpart of [`crate::PositionIndex`].
+///
+/// Buckets hold **row indices** (into [`RelationColumns`] order, which is
+/// also [`DatabaseIndex::relation_fact_ids`] order), ascending — so a bucket
+/// enumerates candidates in exactly the order the row engine would.
+pub struct CodeIndex {
+    positions: Vec<usize>,
+    buckets: FxHashMap<u64, (u32, u32)>,
+    rows: Vec<u32>,
+}
+
+impl CodeIndex {
+    /// Packs the codes of a one- or two-position key into the probe word.
+    /// Keys are in ascending position order, matching [`CodeIndex::positions`].
+    pub fn pack(codes: &[u32]) -> u64 {
+        match codes {
+            [a] => *a as u64,
+            [a, b] => ((*a as u64) << 32) | *b as u64,
+            _ => panic!("CodeIndex keys cover one or two positions"),
+        }
+    }
+
+    fn build(columns: &RelationColumns, positions: &[usize]) -> Self {
+        assert!(
+            matches!(positions.len(), 1 | 2),
+            "CodeIndex keys cover one or two positions"
+        );
+        let mut grouped: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for row in 0..columns.row_count() {
+            let key = match positions {
+                [p] => columns.column(*p)[row] as u64,
+                [p, q] => ((columns.column(*p)[row] as u64) << 32) | columns.column(*q)[row] as u64,
+                _ => unreachable!("length asserted above"),
+            };
+            grouped.entry(key).or_default().push(row as u32);
+        }
+        // Deterministic dense layout: buckets laid out in ascending key
+        // order (irrelevant to results, stable for debugging).
+        let mut keys: Vec<u64> = grouped.keys().copied().collect();
+        keys.sort_unstable();
+        let mut rows = Vec::with_capacity(columns.row_count());
+        let mut buckets = FxHashMap::default();
+        for key in keys {
+            let ids = &grouped[&key];
+            buckets.insert(key, (rows.len() as u32, ids.len() as u32));
+            rows.extend_from_slice(ids);
+        }
+        CodeIndex {
+            positions: positions.to_vec(),
+            buckets,
+            rows,
+        }
+    }
+
+    /// The indexed positions, ascending (one or two of them).
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// The row indices whose packed key equals `key`, ascending. Missing
+    /// keys give `&[]`.
+    pub fn candidates(&self, key: u64) -> &[u32] {
+        match self.buckets.get(&key) {
+            Some(&(start, len)) => &self.rows[start as usize..(start + len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+pub(crate) fn build_code_index(
+    columnar: &Columnar,
+    relation: RelationId,
+    positions: &[usize],
+) -> CodeIndex {
+    CodeIndex::build(columnar.relation(relation), positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schema, UncertainDatabase};
+
+    fn db() -> UncertainDatabase {
+        let schema = Schema::from_relations([("C", 3, 2), ("R", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("C", ["PODS", "2016", "Rome"]).unwrap();
+        db.insert_values("C", ["PODS", "2016", "Paris"]).unwrap();
+        db.insert_values("C", ["KDD", "2017", "Rome"]).unwrap();
+        db.insert_values("R", ["PODS", "A"]).unwrap();
+        db.insert_values("R", ["KDD", "A"]).unwrap();
+        db.insert_values("R", ["KDD", "B"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn dictionary_codes_round_trip_and_follow_sort_order() {
+        let db = db();
+        let index = db.index();
+        let dict = index.columnar().dictionary();
+        assert_eq!(dict.len(), index.active_domain().len());
+        assert!(!dict.is_empty());
+        for (i, value) in index.active_domain().iter().enumerate() {
+            let code = dict.code_of(value).unwrap();
+            assert_eq!(code as usize, i);
+            assert_eq!(dict.value(code), value);
+        }
+        assert_eq!(dict.code_of(&Value::str("not-there")), None);
+    }
+
+    #[test]
+    fn columns_align_with_relation_fact_order() {
+        let db = db();
+        let index = db.index();
+        let columnar = index.columnar();
+        let dict = columnar.dictionary();
+        for (rel, _) in db.schema().iter() {
+            let cols = columnar.relation(rel);
+            let fact_ids = index.relation_fact_ids(rel);
+            assert_eq!(cols.row_count(), fact_ids.len());
+            for (row, &fid) in fact_ids.iter().enumerate() {
+                let fact = index.fact(crate::FactId::from_index(fid as usize));
+                for (pos, value) in fact.values().iter().enumerate() {
+                    assert_eq!(dict.value(cols.column(pos)[row]), value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_index_buckets_match_position_index_buckets() {
+        let db = db();
+        let index = db.index();
+        let c = db.schema().relation_id("C").unwrap();
+        let columnar = index.columnar();
+        let dict = columnar.dictionary();
+        let by_city = index.code_index(c, &[2]);
+        let rome = dict.code_of(&Value::str("Rome")).unwrap();
+        let hits = by_city.candidates(CodeIndex::pack(&[rome]));
+        assert_eq!(hits.len(), 2);
+        // Rows map back to the same facts the row engine's index finds.
+        let reference = index.position_index(c, crate::PositionSet::single(2));
+        let fact_ids = index.relation_fact_ids(c);
+        let via_codes: Vec<u32> = hits.iter().map(|&r| fact_ids[r as usize]).collect();
+        assert_eq!(via_codes, reference.candidates(&[Value::str("Rome")]));
+        // Two-position key.
+        let pair = index.code_index(c, &[0, 2]);
+        assert_eq!(pair.positions(), &[0, 2]);
+        let pods = dict.code_of(&Value::str("PODS")).unwrap();
+        assert_eq!(pair.candidates(CodeIndex::pack(&[pods, rome])).len(), 1);
+        assert_eq!(pair.candidates(CodeIndex::pack(&[rome, pods])).len(), 0);
+        assert!(pair.key_count() >= 3);
+    }
+
+    #[test]
+    fn columnar_and_code_indexes_are_cached_per_snapshot() {
+        let db = db();
+        let index = db.index();
+        let r = db.schema().relation_id("R").unwrap();
+        assert!(std::ptr::eq(index.columnar(), index.columnar()));
+        let a = index.code_index(r, &[0]);
+        let b = index.code_index(r, &[0]);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = index.code_index(r, &[0, 1]);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

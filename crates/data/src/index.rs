@@ -22,6 +22,7 @@
 //! invalidated by any mutation, so repeated evaluations against the same
 //! database pay the build cost once.
 
+use crate::columnar::{build_code_index, CodeIndex, Columnar};
 use crate::{Block, BlockId, Fact, FxHashMap, FxHashSet, RelationId, UncertainDatabase, Value};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -254,6 +255,8 @@ pub struct DatabaseIndex {
     active_domain: OnceLock<Arc<[Value]>>,
     statistics: OnceLock<Statistics>,
     position_indexes: Mutex<FxHashMap<(RelationId, u64), Arc<PositionIndex>>>,
+    columnar: OnceLock<Columnar>,
+    code_indexes: Mutex<FxHashMap<(RelationId, u64), Arc<CodeIndex>>>,
 }
 
 impl DatabaseIndex {
@@ -281,7 +284,19 @@ impl DatabaseIndex {
             active_domain: OnceLock::new(),
             statistics: OnceLock::new(),
             position_indexes: Mutex::new(FxHashMap::default()),
+            columnar: OnceLock::new(),
+            code_indexes: Mutex::new(FxHashMap::default()),
         }
+    }
+
+    /// Number of relations in the schema the snapshot was built over.
+    pub fn relation_count(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Arity of one relation.
+    pub fn arity(&self, relation: RelationId) -> usize {
+        self.arities[relation.index()]
     }
 
     /// Number of facts in the snapshot.
@@ -332,6 +347,16 @@ impl DatabaseIndex {
 
     /// The sorted, deduplicated active domain, computed once per snapshot.
     pub fn active_domain(&self) -> &[Value] {
+        self.active_domain_shared_ref()
+    }
+
+    /// The active domain as a shared handle (the allocation backing both
+    /// [`DatabaseIndex::active_domain`] and the columnar dictionary).
+    pub fn active_domain_shared(&self) -> Arc<[Value]> {
+        self.active_domain_shared_ref().clone()
+    }
+
+    fn active_domain_shared_ref(&self) -> &Arc<[Value]> {
         self.active_domain.get_or_init(|| {
             let mut dom: Vec<Value> = self
                 .facts
@@ -404,6 +429,40 @@ impl DatabaseIndex {
         let built = Arc::new(PositionIndex::build(self, relation, positions));
         let mut cache = self
             .position_indexes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cache.entry(key).or_insert(built).clone()
+    }
+
+    /// The dictionary-encoded columnar view of the snapshot, materialized on
+    /// first use and cached — the value arrays the vectorized executor scans.
+    pub fn columnar(&self) -> &Columnar {
+        self.columnar.get_or_init(|| Columnar::build(self))
+    }
+
+    /// The packed-code hash index of `relation` over one or two `positions`
+    /// (ascending), built on first use and cached for the snapshot — the
+    /// vectorized counterpart of [`DatabaseIndex::position_index`].
+    pub fn code_index(&self, relation: RelationId, positions: &[usize]) -> Arc<CodeIndex> {
+        // One or two positions, packed 1-biased so [p] and [p, 0] differ.
+        let packed = match positions {
+            [p] => *p as u64 + 1,
+            [p, q] => (*p as u64 + 1) | ((*q as u64 + 1) << 32),
+            _ => panic!("CodeIndex keys cover one or two positions"),
+        };
+        let key = (relation, packed);
+        if let Some(existing) = self
+            .code_indexes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            return existing.clone();
+        }
+        // Same build-outside-the-lock pattern as `position_index`.
+        let built = Arc::new(build_code_index(self.columnar(), relation, positions));
+        let mut cache = self
+            .code_indexes
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         cache.entry(key).or_insert(built).clone()

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod block;
+pub mod columnar;
 mod database;
 mod error;
 mod fact;
@@ -45,6 +46,7 @@ mod snapshot;
 mod value;
 
 pub use block::{Block, BlockId};
+pub use columnar::{CodeIndex, Columnar, Dictionary, RelationColumns};
 pub use database::UncertainDatabase;
 pub use error::DataError;
 pub use fact::Fact;

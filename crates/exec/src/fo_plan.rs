@@ -45,7 +45,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// A physical operator of a compiled formula plan.
-enum FoOp {
+pub(crate) enum FoOp {
     /// A constant verdict.
     Bool(bool),
     /// Membership test of a fully-bound atom: one index probe.
@@ -99,14 +99,14 @@ impl FoOp {
 /// one schema. Compile once; [`FoPlan::prepare`] binds it to a
 /// [`DatabaseIndex`] snapshot for execution.
 pub struct FoPlan {
-    schema: Arc<Schema>,
-    root: FoOp,
+    pub(crate) schema: Arc<Schema>,
+    pub(crate) root: FoOp,
     /// Slot → display name. Quantifier occurrences are alpha-renamed, so
     /// two scopes reusing a variable name own distinct slots.
-    slots: Vec<Variable>,
+    pub(crate) slots: Vec<Variable>,
     /// Free variables of the formula and their root slots (empty for the
     /// sentences produced by `certain_rewriting`).
-    free: Vec<(Variable, Slot)>,
+    pub(crate) free: Vec<(Variable, Slot)>,
     probe_count: usize,
     /// Cost-model estimate of the operator-visit count of one evaluation
     /// (see [`FoPlan::estimated_work`]).
@@ -168,13 +168,20 @@ impl FoPlan {
     }
 
     /// Binds the plan to an index snapshot, resolving every probe handle.
+    /// The execution path defaults to [`crate::vec::default_mode`]; override
+    /// it per instance with [`PreparedFo::with_mode`].
     pub fn prepare<'p>(&'p self, index: &Arc<DatabaseIndex>) -> PreparedFo<'p> {
         let mut handles: Vec<Option<Arc<PositionIndex>>> = vec![None; self.probe_count];
         resolve_probes(&self.root, index, &mut handles);
+        let mode = crate::vec::default_mode();
+        let vec = (mode != crate::vec::ExecMode::RowAtATime)
+            .then(|| crate::vec::VecFo::build(&self.root, index, self.slots.len()));
         PreparedFo {
             plan: self,
             index: index.clone(),
             handles,
+            mode,
+            vec,
         }
     }
 
@@ -194,20 +201,33 @@ impl FoPlan {
     /// patterns and cost-model estimates.
     pub fn explain(&self) -> String {
         let mut out = String::new();
+        let path = if self.estimated_work >= crate::vec::FO_VEC_CUTOFF {
+            "vectorized"
+        } else {
+            "row-at-a-time"
+        };
+        let _ = writeln!(
+            out,
+            "  exec: est work ≈ {:.0} vs auto cutoff {:.0} → {path} path \
+             (operators marked [vec]/[row])",
+            self.estimated_work,
+            crate::vec::FO_VEC_CUTOFF,
+        );
         self.render(&self.root, 1, &mut out);
         out
     }
 
     fn render(&self, op: &FoOp, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
+        let mark = crate::vec::fo_op_marker(op);
         match op {
             FoOp::Bool(b) => {
-                let _ = writeln!(out, "{pad}{b}");
+                let _ = writeln!(out, "{pad}{b} {mark}");
             }
             FoOp::Lookup(spec) => {
                 let _ = writeln!(
                     out,
-                    "{pad}lookup {}",
+                    "{pad}lookup {} {mark}",
                     spec.render(&self.schema, &self.slots)
                 );
             }
@@ -216,20 +236,20 @@ impl FoPlan {
                     KeySource::Const(c) => format!("{c:?}"),
                     KeySource::Slot(s) => self.slots[*s].to_string(),
                 };
-                let _ = writeln!(out, "{pad}{} = {}", name(a), name(b));
+                let _ = writeln!(out, "{pad}{} = {} {mark}", name(a), name(b));
             }
             FoOp::Not(inner) => {
-                let _ = writeln!(out, "{pad}¬");
+                let _ = writeln!(out, "{pad}¬ {mark}");
                 self.render(inner, depth + 1, out);
             }
             FoOp::All(parts) => {
-                let _ = writeln!(out, "{pad}all");
+                let _ = writeln!(out, "{pad}all {mark}");
                 for p in parts {
                     self.render(p, depth + 1, out);
                 }
             }
             FoOp::Any(parts) => {
-                let _ = writeln!(out, "{pad}any");
+                let _ = writeln!(out, "{pad}any {mark}");
                 for p in parts {
                     self.render(p, depth + 1, out);
                 }
@@ -237,7 +257,7 @@ impl FoPlan {
             FoOp::ExistsScan { spec, body } => {
                 let _ = writeln!(
                     out,
-                    "{pad}∃-scan {:<40} est ≈ {:.1} rows",
+                    "{pad}∃-scan {:<40} est ≈ {:.1} rows {mark}",
                     spec.render(&self.schema, &self.slots),
                     spec.estimated_rows
                 );
@@ -246,7 +266,7 @@ impl FoPlan {
             FoOp::ForallBlock { spec, body } => {
                 let _ = writeln!(
                     out,
-                    "{pad}∀-block {:<39} est ≈ {:.1} rows",
+                    "{pad}∀-block {:<39} est ≈ {:.1} rows {mark}",
                     spec.render(&self.schema, &self.slots),
                     spec.estimated_rows
                 );
@@ -261,18 +281,18 @@ impl FoPlan {
             } => {
                 let _ = writeln!(
                     out,
-                    "{pad}∃-column {} ∈ {}.{position}",
+                    "{pad}∃-column {} ∈ {}.{position} {mark}",
                     self.slots[*slot],
                     self.schema.relation(*relation).name
                 );
                 self.render(body, depth + 1, out);
             }
             FoOp::ExistsDomain { slot, body } => {
-                let _ = writeln!(out, "{pad}∃-domain {}", self.slots[*slot]);
+                let _ = writeln!(out, "{pad}∃-domain {} {mark}", self.slots[*slot]);
                 self.render(body, depth + 1, out);
             }
             FoOp::ForallDomain { slot, body } => {
-                let _ = writeln!(out, "{pad}∀-domain {}", self.slots[*slot]);
+                let _ = writeln!(out, "{pad}∀-domain {} {mark}", self.slots[*slot]);
                 self.render(body, depth + 1, out);
             }
         }
@@ -807,14 +827,50 @@ fn estimated_op_work(op: &FoOp, cost: &CostModel, adom: f64) -> f64 {
 
 /// An [`FoPlan`] resolved against one [`DatabaseIndex`] snapshot.
 pub struct PreparedFo<'p> {
-    plan: &'p FoPlan,
-    index: Arc<DatabaseIndex>,
-    handles: Vec<Option<Arc<PositionIndex>>>,
+    pub(crate) plan: &'p FoPlan,
+    pub(crate) index: Arc<DatabaseIndex>,
+    pub(crate) handles: Vec<Option<Arc<PositionIndex>>>,
+    pub(crate) mode: crate::vec::ExecMode,
+    pub(crate) vec: Option<crate::vec::VecFo<'p>>,
 }
 
 impl PreparedFo<'_> {
+    /// Overrides the execution-path choice for this prepared instance (the
+    /// property suites pin each path explicitly; a global knob would race
+    /// across in-process test threads).
+    pub fn with_mode(mut self, mode: crate::vec::ExecMode) -> Self {
+        self.mode = mode;
+        if mode != crate::vec::ExecMode::RowAtATime && self.vec.is_none() {
+            self.vec = Some(crate::vec::VecFo::build(
+                &self.plan.root,
+                &self.index,
+                self.plan.slots.len(),
+            ));
+        }
+        self
+    }
+
+    /// The execution mode this prepared instance runs under.
+    pub fn mode(&self) -> crate::vec::ExecMode {
+        self.mode
+    }
+
+    /// True iff sentence-level entry points take the batch path.
+    fn use_vec(&self) -> bool {
+        match self.mode {
+            crate::vec::ExecMode::RowAtATime => false,
+            crate::vec::ExecMode::Vectorized => self.vec.is_some(),
+            crate::vec::ExecMode::Auto => {
+                self.vec.is_some() && self.plan.estimated_work >= crate::vec::FO_VEC_CUTOFF
+            }
+        }
+    }
+
     /// Evaluates the plan as a sentence.
     pub fn eval(&self) -> bool {
+        if self.use_vec() {
+            return crate::vec::eval_sentence(self);
+        }
         let mut regs = Registers::new(self.plan.slots.len());
         self.eval_op(&self.plan.root, &mut regs)
     }
@@ -828,6 +884,41 @@ impl PreparedFo<'_> {
             }
         }
         self.eval_op(&self.plan.root, &mut regs)
+    }
+
+    /// Row-path evaluation of one `vars ↦ tuple` binding (positional
+    /// [`PreparedFo::eval_with`] without the map allocation).
+    pub(crate) fn eval_tuple_row(&self, vars: &[Variable], tuple: &[Value]) -> bool {
+        let mut regs = Registers::new(self.plan.slots.len());
+        for (var, value) in vars.iter().zip(tuple) {
+            if let Some(&(_, slot)) = self.plan.free.iter().find(|(fv, _)| fv == var) {
+                regs.set(slot, value.clone());
+            }
+        }
+        self.eval_op(&self.plan.root, &mut regs)
+    }
+
+    /// Batch-evaluates the open formula under `vars ↦ tuples[i]` for every
+    /// tuple, returning one verdict per tuple (positionally). Equivalent to
+    /// [`PreparedFo::eval_with`] in a loop; under `Auto`/`Vectorized` the
+    /// batch runs through the vectorized kernels — the entry point
+    /// `certain_answers` batches its candidate tuples through.
+    pub fn eval_tuples(&self, vars: &[Variable], tuples: &[Vec<Value>]) -> Vec<bool> {
+        let use_vec = match self.mode {
+            crate::vec::ExecMode::RowAtATime => false,
+            crate::vec::ExecMode::Vectorized => self.vec.is_some(),
+            crate::vec::ExecMode::Auto => {
+                self.vec.is_some() && tuples.len() >= crate::vec::TUPLE_BATCH_MIN
+            }
+        };
+        if use_vec {
+            crate::vec::eval_tuples(self, vars, tuples)
+        } else {
+            tuples
+                .iter()
+                .map(|tuple| self.eval_tuple_row(vars, tuple))
+                .collect()
+        }
     }
 
     /// The width of the plan's **root candidate space**, when the root
@@ -861,6 +952,9 @@ impl PreparedFo<'_> {
     /// the shard containing index 0, so the disjunction over a partition
     /// still equals [`PreparedFo::eval`].
     pub fn eval_root_shard(&self, shard: std::ops::Range<usize>) -> bool {
+        if self.use_vec() {
+            return crate::vec::eval_root_shard(self, shard);
+        }
         let mut regs = Registers::new(self.plan.slots.len());
         let FoOp::ExistsScan { spec, body } = &self.plan.root else {
             return shard.start == 0 && self.eval_op(&self.plan.root, &mut regs);
@@ -886,7 +980,7 @@ impl PreparedFo<'_> {
         found
     }
 
-    fn eval_op(&self, op: &FoOp, regs: &mut Registers) -> bool {
+    pub(crate) fn eval_op(&self, op: &FoOp, regs: &mut Registers) -> bool {
         match op {
             FoOp::Bool(b) => *b,
             FoOp::Lookup(spec) => {

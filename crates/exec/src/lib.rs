@@ -25,9 +25,15 @@
 //! hot path becomes a flat operator loop — no tree-walking, no per-call
 //! ordering decisions, no intermediate valuation cloning.
 //!
-//! The interpreters remain the *reference semantics*: compiled and
-//! interpreted evaluation must stay observationally identical, which
-//! `tests/properties.rs` enforces on randomized instances.
+//! On top of the compiled plans, the [`mod@vec`] module adds a **vectorized
+//! block-at-a-time executor**: batches of dictionary codes flow through the
+//! same operator trees (selection vectors, packed-key batch hash probes,
+//! grouped any/all aggregation), selected per entry point by the cost model
+//! via [`ExecMode`].
+//!
+//! The interpreters remain the *reference semantics*: compiled,
+//! interpreted, and vectorized evaluation must stay observationally
+//! identical, which `tests/properties.rs` enforces on randomized instances.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,7 +43,9 @@ pub mod cost;
 pub mod fo_plan;
 mod probe;
 pub mod query_plan;
+pub mod vec;
 
 pub use cache::PlanCache;
-pub use fo_plan::FoPlan;
-pub use query_plan::QueryPlan;
+pub use fo_plan::{FoPlan, PreparedFo};
+pub use query_plan::{PreparedQuery, QueryPlan};
+pub use vec::ExecMode;

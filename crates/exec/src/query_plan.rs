@@ -24,9 +24,9 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// One join step: the atom it came from and its compiled access.
-struct Step {
+pub(crate) struct Step {
     atom: AtomId,
-    spec: ProbeSpec,
+    pub(crate) spec: ProbeSpec,
 }
 
 /// A compiled, immutable, shareable join plan for one conjunctive query.
@@ -35,9 +35,9 @@ struct Step {
 /// to a [`DatabaseIndex`] snapshot for execution.
 pub struct QueryPlan {
     schema: Arc<Schema>,
-    steps: Vec<Step>,
-    slots: Vec<Variable>,
-    free_slots: Vec<Slot>,
+    pub(crate) steps: Vec<Step>,
+    pub(crate) slots: Vec<Variable>,
+    pub(crate) free_slots: Vec<Slot>,
     probe_count: usize,
     /// Cost-model estimate of the total number of search nodes a full
     /// execution visits (see [`QueryPlan::estimated_work`]).
@@ -133,6 +133,8 @@ impl QueryPlan {
 
     /// Binds the plan to an index snapshot, resolving every probe handle, so
     /// repeated executions against the snapshot skip the handle lookups.
+    /// The execution path defaults to [`crate::vec::default_mode`]; override
+    /// it per instance with [`PreparedQuery::with_mode`].
     pub fn prepare<'p>(&'p self, index: &Arc<DatabaseIndex>) -> PreparedQuery<'p> {
         let mut handles: Vec<Option<Arc<PositionIndex>>> = Vec::with_capacity(self.probe_count);
         for step in &self.steps {
@@ -142,10 +144,21 @@ impl QueryPlan {
                 Some(index.position_index(step.spec.relation, step.spec.positions))
             });
         }
+        let mode = crate::vec::default_mode();
+        let vec_steps = if mode != crate::vec::ExecMode::RowAtATime {
+            self.steps
+                .iter()
+                .map(|step| crate::vec::VProbe::build(&step.spec, index))
+                .collect()
+        } else {
+            Vec::new()
+        };
         PreparedQuery {
             plan: self,
             index: index.clone(),
             handles,
+            mode,
+            vec_steps,
         }
     }
 
@@ -188,6 +201,20 @@ impl QueryPlan {
             out.push_str("  (empty query: always satisfied)\n");
             return out;
         }
+        let path = if (crate::vec::QUERY_VEC_CUTOFF..=crate::vec::QUERY_VEC_MAX)
+            .contains(&self.estimated_work)
+        {
+            "vectorized batch join"
+        } else {
+            "row-at-a-time backtracking"
+        };
+        let _ = writeln!(
+            out,
+            "  exec: est work ≈ {:.0} vs auto window {:.0}..{:.0} → {path} for answers",
+            self.estimated_work,
+            crate::vec::QUERY_VEC_CUTOFF,
+            crate::vec::QUERY_VEC_MAX,
+        );
         for (i, step) in self.steps.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -223,12 +250,53 @@ fn probed_positions(
 
 /// A [`QueryPlan`] resolved against one [`DatabaseIndex`] snapshot.
 pub struct PreparedQuery<'p> {
-    plan: &'p QueryPlan,
-    index: Arc<DatabaseIndex>,
-    handles: Vec<Option<Arc<PositionIndex>>>,
+    pub(crate) plan: &'p QueryPlan,
+    pub(crate) index: Arc<DatabaseIndex>,
+    pub(crate) handles: Vec<Option<Arc<PositionIndex>>>,
+    pub(crate) mode: crate::vec::ExecMode,
+    pub(crate) vec_steps: Vec<crate::vec::VProbe>,
 }
 
 impl PreparedQuery<'_> {
+    /// Overrides the execution-path choice for this prepared instance (the
+    /// property suites pin each path explicitly; a global knob would race
+    /// across in-process test threads). The choice applies to
+    /// [`PreparedQuery::answers`] / [`PreparedQuery::answers_shard`]; the
+    /// early-exit entry points (`satisfies*`, `all_valuations`) always run
+    /// the row engine, whose short-circuiting beats batch materialization.
+    pub fn with_mode(mut self, mode: crate::vec::ExecMode) -> Self {
+        self.mode = mode;
+        if mode != crate::vec::ExecMode::RowAtATime && self.vec_steps.is_empty() {
+            self.vec_steps = self
+                .plan
+                .steps
+                .iter()
+                .map(|step| crate::vec::VProbe::build(&step.spec, &self.index))
+                .collect();
+        }
+        self
+    }
+
+    /// The execution mode this prepared instance runs under.
+    pub fn mode(&self) -> crate::vec::ExecMode {
+        self.mode
+    }
+
+    /// True iff `answers`-style entry points take the batch-join path.
+    fn use_vec(&self) -> bool {
+        if self.vec_steps.is_empty() {
+            return false;
+        }
+        match self.mode {
+            crate::vec::ExecMode::RowAtATime => false,
+            crate::vec::ExecMode::Vectorized => true,
+            crate::vec::ExecMode::Auto => {
+                let work = self.plan.estimated_work;
+                (crate::vec::QUERY_VEC_CUTOFF..=crate::vec::QUERY_VEC_MAX).contains(&work)
+            }
+        }
+    }
+
     /// True iff some valuation satisfies the query on the snapshot.
     pub fn satisfies(&self) -> bool {
         let mut regs = Registers::new(self.plan.slots.len());
@@ -269,6 +337,9 @@ impl PreparedQuery<'_> {
     /// query's free variables (the empty tuple for a satisfied Boolean
     /// query).
     pub fn answers(&self) -> BTreeSet<Vec<Value>> {
+        if self.use_vec() {
+            return crate::vec::query_answers(self, None);
+        }
         let mut out = BTreeSet::new();
         let mut regs = Registers::new(self.plan.slots.len());
         self.run(&mut regs, &mut |regs| {
@@ -318,6 +389,9 @@ impl PreparedQuery<'_> {
     /// ordered set, the recombined answer is byte-identical however the
     /// partition (or the thread interleaving) looked.
     pub fn answers_shard(&self, shard: std::ops::Range<usize>) -> BTreeSet<Vec<Value>> {
+        if self.use_vec() {
+            return crate::vec::query_answers(self, Some(shard));
+        }
         let mut out = BTreeSet::new();
         let mut regs = Registers::new(self.plan.slots.len());
         self.run_shard(shard, &mut regs, &mut |regs| {
@@ -496,7 +570,10 @@ mod tests {
         let index = db.index();
         let plan = QueryPlan::compile(&q, Some(index.statistics()));
         let text = plan.explain();
-        let r_line = text.lines().next().unwrap();
+        let r_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("1."))
+            .unwrap();
         assert!(r_line.contains("R("), "R should be joined first:\n{text}");
         assert!(!plan.satisfies(&db)); // no S(b, _) fact
         assert_eq!(plan.satisfies(&db), eval::satisfies(&db, &q));

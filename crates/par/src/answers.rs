@@ -4,16 +4,18 @@
 //! not fundamental", Section 3); `cqa_core::answers` lifts the solvers to
 //! free variables by checking, for every **possible answer** (an answer on
 //! the database itself — the candidate set, by monotonicity), whether the
-//! grounded Boolean query is certain. Those per-candidate checks share
-//! nothing but the immutable snapshot, which makes the candidate space the
-//! natural shard axis: split it into chunks, decide each chunk's candidates
-//! on a worker, and merge the surviving tuples into one ordered set — the
-//! merge is a set union into a `BTreeSet`, so the result is byte-identical
-//! at every thread count.
+//! grounded Boolean query is certain. Those certainty checks share nothing
+//! but the immutable snapshot and the compile-once
+//! [`CertainAnswersEngine`], which makes the candidate space the natural
+//! shard axis: split it into chunks, decide each chunk as one batch through
+//! the engine's prepared open-rewriting plan (routing large chunks through
+//! the vectorized executor) on a worker, and merge the surviving tuples
+//! into one ordered set — the merge is a set union into a `BTreeSet`, so
+//! the result is byte-identical at every thread count.
 
 use crate::pool::{chunk_ranges, par_map, ParPool};
 use crate::ParConfig;
-use cqa_core::answers::{possible_answers, shared_plan_cache, tuple_is_certain, AnswerSets};
+use cqa_core::answers::{possible_answers, shared_plan_cache, AnswerSets, CertainAnswersEngine};
 use cqa_data::{Snapshot, Value};
 use cqa_query::{ConjunctiveQuery, QueryError};
 use std::collections::BTreeSet;
@@ -37,36 +39,36 @@ pub fn certain_answers_par(
 ) -> Result<AnswerSets, QueryError> {
     let db = snapshot.database();
     let possible = possible_answers(query, db)?;
-    let free = query.free_vars().to_vec();
+    let engine = Arc::new(CertainAnswersEngine::new(query)?);
 
     let plan = shared_plan_cache().plan(query, Some(snapshot.index().statistics()));
     let estimated = possible.len() as f64 * plan.estimated_work().max(1.0);
     if pool.thread_count() == 1 || possible.len() < 2 || estimated < config.sequential_cutoff {
-        let mut certain = BTreeSet::new();
-        for tuple in &possible {
-            if tuple_is_certain(query, &free, tuple, db)? {
-                certain.insert(tuple.clone());
-            }
-        }
+        let certain = engine.certain_of(db, &possible)?;
         return Ok(AnswerSets { certain, possible });
     }
+
+    // Compile the open rewriting once on this thread so the workers all hit
+    // the cached plan instead of racing to build it.
+    engine.open_plan(db);
 
     let candidates: Arc<Vec<Vec<Value>>> = Arc::new(possible.iter().cloned().collect());
     let chunks = chunk_ranges(
         candidates.len(),
         pool.thread_count() * config.chunks_per_thread,
     );
-    let query = Arc::new(query.clone());
-    let free = Arc::new(free);
     let snapshot = snapshot.clone();
     let per_chunk = par_map(pool, chunks, move |_, range| {
-        let mut certain: Vec<Vec<Value>> = Vec::new();
-        for tuple in &candidates[range] {
-            if tuple_is_certain(&query, &free, tuple, snapshot.database())? {
-                certain.push(tuple.clone());
-            }
-        }
-        Ok::<_, QueryError>(certain)
+        let tuples = &candidates[range];
+        let verdicts = engine.verdicts(snapshot.database(), tuples)?;
+        Ok::<_, QueryError>(
+            tuples
+                .iter()
+                .zip(verdicts)
+                .filter(|&(_, certain)| certain)
+                .map(|(tuple, _)| tuple.clone())
+                .collect::<Vec<Vec<Value>>>(),
+        )
     });
 
     let mut certain = BTreeSet::new();

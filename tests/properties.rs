@@ -1,11 +1,12 @@
 //! Property-based tests (proptest) for the paper's structural lemmas and for
 //! solver agreement on randomly generated queries and databases.
 
+use cqa::core::answers::{tuple_is_certain, CertainAnswersEngine};
 use cqa::core::attack::{AttackGraph, CycleAnalysis};
 use cqa::core::classify::{classify, ComplexityClass};
 use cqa::core::fo::eval::evaluate_sentence;
 use cqa::core::solvers::{CertaintyEngine, CertaintySolver, ExactOracle, RewritingSolver};
-use cqa::exec::{FoPlan, QueryPlan};
+use cqa::exec::{ExecMode, FoPlan, QueryPlan};
 use cqa::gen::{random_acyclic_query, GeneratorConfig, UncertainDbGenerator};
 use cqa::par::{certain_answers_par, ParConfig, ParPool, ParallelEngine};
 use cqa::prob::eval::{probability_exact, probability_over_repairs};
@@ -336,6 +337,112 @@ proptest! {
                 "is_certain at {} threads, {} seed {}", pool.thread_count(), entry.name, seed);
             prop_assert_eq!(par.is_possible(&snapshot), possible,
                 "is_possible at {} threads, {} seed {}", pool.thread_count(), entry.name, seed);
+        }
+    }
+}
+
+proptest! {
+    // 256 cases: the vectorized block-at-a-time executor is cross-checked
+    // against the row-at-a-time engine and the interpreted references on
+    // well over 200 randomized generator instances per run. The executor
+    // mode is *forced* both ways through the `with_mode` knob, so every
+    // case exercises the vectorized kernels even below the cost model's
+    // auto cutoff — the fallback boundary the auto path would otherwise
+    // hide.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Vectorized and row-at-a-time execution agree **exactly**: on the
+    /// Theorem 1 catalog queries, `is_certain` through the compiled
+    /// rewriting (vec vs row vs the generic model checker, three-way) and
+    /// `certain_answers` through the compile-once engine (vec vs row vs the
+    /// per-candidate classified-solver reference, byte-identical answer
+    /// sets); and on a query with a cyclic attack graph, the engine's
+    /// per-candidate fallback is verified mode-independent.
+    #[test]
+    fn vectorized_execution_agrees_with_row_and_interpreters(seed in 0u64..100_000, which in 0usize..4) {
+        let (q, name) = match which {
+            0 => (catalog::conference().query, "conference"),
+            1 => (catalog::fo_path2().query, "fo_path2"),
+            2 => (catalog::fo_path3().query, "fo_path3"),
+            _ => {
+                // {R(y;z), S(z;y), F(y;w)} with w free: the attack graph has
+                // a cycle among the bound variables, so the answers engine
+                // must take the per-candidate fallback path.
+                let schema = cqa_data::Schema::from_relations(
+                    [("R", 2, 1), ("S", 2, 1), ("F", 2, 1)]).unwrap().into_shared();
+                let q = cqa::query::ConjunctiveQuery::builder(schema)
+                    .atom("R", [cqa::query::Term::var("y"), cqa::query::Term::var("z")])
+                    .atom("S", [cqa::query::Term::var("z"), cqa::query::Term::var("y")])
+                    .atom("F", [cqa::query::Term::var("y"), cqa::query::Term::var("w")])
+                    .free([cqa::query::Variable::new("w")])
+                    .build().unwrap();
+                (q, "cyclic-free-w")
+            }
+        };
+        let db = UncertainDbGenerator::new(&q, GeneratorConfig {
+            seed,
+            matches: 1 + (seed % 5) as usize,
+            domain_per_variable: 2 + (seed % 3) as usize,
+            extra_block_facts: (seed % 3) as usize,
+            alternative_join_probability: 0.6,
+        }).generate();
+        let index = db.index();
+
+        if which < 3 {
+            // Boolean rewriting: vec vs row vs the generic model checker.
+            let solver = RewritingSolver::new(&q).unwrap();
+            let fo_plan = FoPlan::compile(solver.formula(), q.schema(), Some(index.statistics()));
+            let row = fo_plan.prepare(&index).with_mode(ExecMode::RowAtATime).eval();
+            let vec_verdict = fo_plan.prepare(&index).with_mode(ExecMode::Vectorized).eval();
+            prop_assert_eq!(vec_verdict, row,
+                "is_certain vec vs row, {} seed {}\n{}", name, seed, fo_plan.explain());
+            prop_assert_eq!(vec_verdict, evaluate_sentence(solver.formula(), &db),
+                "is_certain vec vs model checker, {} seed {}\n{}", name, seed, fo_plan.explain());
+
+            // Join answers on the freed query: vec vs row, byte-identical.
+            let free_q = cqa::query::ConjunctiveQuery::with_free_vars(
+                q.schema().clone(),
+                q.atoms().to_vec(),
+                vec![cqa::query::Variable::new("x")],
+            ).unwrap();
+            let plan = QueryPlan::compile(&free_q, Some(index.statistics()));
+            let row_answers = plan.prepare(&index).with_mode(ExecMode::RowAtATime).answers();
+            let vec_answers = plan.prepare(&index).with_mode(ExecMode::Vectorized).answers();
+            prop_assert_eq!(&vec_answers, &row_answers,
+                "join answers vec vs row, {} seed {}", name, seed);
+
+            // Certain answers through the compile-once engine: vec vs row vs
+            // the per-candidate classified-solver reference. A value outside
+            // the active domain rides along to cross the foreign-tuple
+            // boundary of the batch path.
+            let mut candidates = row_answers;
+            candidates.insert(vec![cqa_data::Value::str("__foreign__")]);
+            let free = free_q.free_vars().to_vec();
+            let reference: std::collections::BTreeSet<Vec<cqa_data::Value>> = candidates.iter()
+                .filter(|t| tuple_is_certain(&free_q, &free, t, &db).unwrap())
+                .cloned()
+                .collect();
+            for mode in [ExecMode::RowAtATime, ExecMode::Vectorized, ExecMode::Auto] {
+                let engine = CertainAnswersEngine::new(&free_q).unwrap().with_mode(mode);
+                prop_assert!(engine.uses_open_rewriting());
+                prop_assert_eq!(&engine.certain_of(&db, &candidates).unwrap(), &reference,
+                    "certain_of {:?}, {} seed {}", mode, name, seed);
+            }
+        } else {
+            // Fallback boundary: the mode knob must be inert on the
+            // per-candidate path, and the verdicts must match the reference.
+            let candidates = cqa::core::answers::possible_answers(&q, &db).unwrap();
+            let free = q.free_vars().to_vec();
+            let reference: std::collections::BTreeSet<Vec<cqa_data::Value>> = candidates.iter()
+                .filter(|t| tuple_is_certain(&q, &free, t, &db).unwrap())
+                .cloned()
+                .collect();
+            for mode in [ExecMode::RowAtATime, ExecMode::Vectorized, ExecMode::Auto] {
+                let engine = CertainAnswersEngine::new(&q).unwrap().with_mode(mode);
+                prop_assert!(!engine.uses_open_rewriting());
+                prop_assert_eq!(&engine.certain_of(&db, &candidates).unwrap(), &reference,
+                    "fallback certain_of {:?}, {} seed {}", mode, name, seed);
+            }
         }
     }
 }
