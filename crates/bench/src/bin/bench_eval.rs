@@ -15,40 +15,14 @@
 //!
 //! Run with `cargo run --release -p cqa-bench --bin bench_eval`.
 
-use cqa_bench::scaled_instance;
+use cqa_bench::{json_escape, scaled_instance, time_min, write_bench_json};
 use cqa_data::UncertainDatabase;
 use cqa_query::eval::{self, naive};
 use cqa_query::{catalog, ConjunctiveQuery};
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 const RUNS: usize = 3;
-
-/// Minimal JSON string escaping (quotes, backslashes, control characters) so
-/// a query rendering with quoted constants cannot break the artifact.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn time_min<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
-    let mut best = Duration::MAX;
-    for _ in 0..runs {
-        let start = Instant::now();
-        std::hint::black_box(f());
-        best = best.min(start.elapsed());
-    }
-    best
-}
 
 /// A clone whose index cache is invalidated, so the next evaluation pays the
 /// full snapshot-build cost ("cold").
@@ -205,8 +179,7 @@ fn main() {
         entries.join(",\n")
     );
 
-    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_eval.json");
-    std::fs::write(&out, &json).expect("write BENCH_eval.json");
+    let out = write_bench_json("BENCH_eval.json", &json);
     eprintln!("wrote {}", out.display());
     print!("{json}");
 }

@@ -18,14 +18,13 @@
 //! Run with `cargo run --release -p cqa-bench --bin bench_exec`
 //! (`--quick` shrinks the instances for CI smoke runs).
 
-use cqa_bench::{json_escape, scaled_instance, time_min};
+use cqa_bench::{json_escape, quick_flag, scaled_instance, time_min, write_bench_json};
 use cqa_core::fo::eval::evaluate_sentence;
 use cqa_core::fo::{certain_rewriting, FoFormula};
 use cqa_data::UncertainDatabase;
 use cqa_exec::{FoPlan, QueryPlan};
 use cqa_query::{catalog, eval, ConjunctiveQuery};
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Runs per timed measurement for the (fast) compiled side.
@@ -106,7 +105,7 @@ fn compare_rewriting(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_flag();
     // `path3` is the acceptance workload: a Theorem 1 query whose generator
     // instance exceeds 10k facts at n = 2200 (~13k facts).
     let workloads: Vec<(&str, ConjunctiveQuery, usize, u64)> = vec![
@@ -176,8 +175,7 @@ fn main() {
         entries.join(",\n")
     );
 
-    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json");
-    std::fs::write(&out, &json).expect("write BENCH_exec.json");
+    let out = write_bench_json("BENCH_exec.json", &json);
     eprintln!("wrote {}", out.display());
     print!("{json}");
 }

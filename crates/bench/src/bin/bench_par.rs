@@ -22,13 +22,12 @@
 //! Run with `cargo run --release -p cqa-bench --bin bench_par`
 //! (`--quick` shrinks the instances for CI smoke runs).
 
-use cqa_bench::{json_escape, scaled_instance, time_min};
+use cqa_bench::{json_escape, quick_flag, scaled_instance, time_min, write_bench_json};
 use cqa_core::answers::certain_answers;
 use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
 use cqa_par::{certain_answers_par, ParConfig, ParPool, ParallelEngine};
 use cqa_query::{catalog, ConjunctiveQuery, Variable};
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::time::Duration;
 
 /// The thread counts of the scaling curve.
@@ -73,7 +72,7 @@ fn points_json(sequential: Duration, points: &[ScalingPoint]) -> String {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_flag();
     let host_cpus = workpool_cpus();
     let runs = if quick { 1 } else { 2 };
     if host_cpus == 1 {
@@ -208,8 +207,7 @@ fn main() {
         entries.join(",\n")
     );
 
-    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_par.json");
-    std::fs::write(&out, &json).expect("write BENCH_par.json");
+    let out = write_bench_json("BENCH_par.json", &json);
     eprintln!("wrote {}", out.display());
     print!("{json}");
 }

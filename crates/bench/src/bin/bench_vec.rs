@@ -23,15 +23,13 @@
 //! Run with `cargo run --release -p cqa-bench --bin bench_vec`
 //! (`--quick` shrinks the instances for CI smoke runs).
 
-use cqa_bench::{json_escape, scaled_instance, time_min};
+use cqa_bench::{json_escape, ms, quick_flag, scaled_instance, time_min, write_bench_json};
 use cqa_core::answers::{possible_answers, tuple_is_certain, CertainAnswersEngine};
 use cqa_core::solvers::RewritingSolver;
 use cqa_exec::{ExecMode, FoPlan, QueryPlan};
 use cqa_query::{catalog, ConjunctiveQuery, Variable};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
-use std::path::PathBuf;
-use std::time::Duration;
 
 fn free_first_variable(query: &ConjunctiveQuery, var: &str) -> ConjunctiveQuery {
     ConjunctiveQuery::with_free_vars(
@@ -42,12 +40,8 @@ fn free_first_variable(query: &ConjunctiveQuery, var: &str) -> ConjunctiveQuery 
     .expect("freeing a variable of a valid query stays valid")
 }
 
-fn ms(d: Duration) -> f64 {
-    d.as_secs_f64() * 1e3
-}
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_flag();
     let runs = if quick { 1 } else { 5 };
 
     let workloads: Vec<(&str, ConjunctiveQuery, &str, usize, u64)> = vec![
@@ -197,8 +191,7 @@ fn main() {
         entries.join(",\n")
     );
 
-    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_vec.json");
-    std::fs::write(&out, &json).expect("write BENCH_vec.json");
+    let out = write_bench_json("BENCH_vec.json", &json);
     eprintln!("wrote {}", out.display());
     print!("{json}");
 }

@@ -11,6 +11,7 @@
 use cqa_data::UncertainDatabase;
 use cqa_gen::{cycle_instance, CycleInstanceConfig, GeneratorConfig, UncertainDbGenerator};
 use cqa_query::{catalog, ConjunctiveQuery};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Workload scale → uncertain database for a given catalog query: `n` match
@@ -85,6 +86,28 @@ pub fn json_escape(s: &str) -> String {
 /// Formats a duration in microseconds with three significant digits.
 pub fn micros(d: Duration) -> String {
     format!("{:.1}µs", d.as_secs_f64() * 1e6)
+}
+
+/// A duration as fractional milliseconds (the unit every `bench_*` binary
+/// reports and records).
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// True iff the process was invoked with `--quick` — the CI smoke-run mode
+/// every `bench_*` binary honors by shrinking its instances.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Writes a hand-rendered benchmark JSON document to `filename` at the
+/// workspace root and returns the path written.
+pub fn write_bench_json(filename: &str, json: &str) -> PathBuf {
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(filename);
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {filename}: {e}"));
+    out
 }
 
 #[cfg(test)]

@@ -6,18 +6,25 @@
 //! certainty certain <file.cqa> [--query=N]   decide CERTAINTY for the document's queries
 //! certainty answers <file.cqa>               certain + possible answers (non-Boolean queries)
 //! certainty rewrite <file.cqa> [--sql]       print the certain FO rewriting (and SQL)
-//! certainty explain <file.cqa>               print the compiled physical plans (query + rewriting)
+//! certainty explain <file.cqa> [--analyze]   print the compiled physical plans (query + rewriting)
 //! certainty probability <file.cqa>           Pr(q) under the uniform-repair distribution
 //! certainty repairs <file.cqa>               list/count repairs of the database
 //! certainty attack-graph <file.cqa> [--dot]  print the attack graph (optionally as DOT)
 //! certainty serve <file.cqa> [--threads=N]   answer newline-delimited stdin queries concurrently
+//! certainty stats <file.cqa>                 answer the document's queries, then dump all metrics
 //! ```
+//!
+//! `explain --analyze` additionally **runs** each plan with a per-operator
+//! trace sink installed and prints the actual row/probe/wave counts next to
+//! the cost-model estimates.
 //!
 //! `serve` freezes the document's database into a snapshot, reads one query
 //! per line from stdin (`name[(vars)] :- atoms`, or a bare atom list), and
-//! answers the whole stream concurrently on a work-stealing pool
-//! (`cqa_par::BatchEngine`) — results print in input order regardless of
-//! which worker finished first.
+//! answers the stream concurrently on a work-stealing pool
+//! (`cqa_par::BatchEngine`) in chunks — results print in input order
+//! regardless of which worker finished first. A `\stats` input line reports
+//! qps, latency percentiles and cache hit rates mid-stream (also printed to
+//! stderr after every flushed chunk).
 //!
 //! The input format is documented in the `cqa-parser` crate (and in
 //! `README.md`).
@@ -28,19 +35,105 @@ use cqa_core::fo::{certain_rewriting, certain_rewriting_open, sql::to_sql};
 use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
 use cqa_core::AttackGraph;
 use cqa_exec::{FoPlan, QueryPlan};
+use cqa_obs::TraceSink;
 use cqa_par::{BatchEngine, BatchOutcome, ParPool};
 use cqa_parser::{dot, parse_document, parse_query_line, Document};
 use cqa_prob::eval::probability_over_repairs;
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn usage() -> &'static str {
-    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph|serve> <file> [--sql] [--dot] [--query=NAME] [--threads=N]"
+    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph|serve|stats> <file> [--sql] [--dot] [--analyze] [--query=NAME] [--threads=N]"
 }
 
 fn load(path: &str) -> Result<Document, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_document(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Pending `serve` queries are flushed as one concurrent batch once this
+/// many have accumulated (and at end of stream / on `\stats`), so long
+/// streams get results and stats lines while still being read.
+const SERVE_CHUNK: usize = 512;
+
+/// Answers the pending entries as one batch and prints the results in
+/// input order, interleaving parse errors where their lines were.
+fn flush_serve(
+    engine: &BatchEngine,
+    entries: &mut Vec<(String, Result<cqa_query::ConjunctiveQuery, String>)>,
+    served: &mut usize,
+) {
+    if entries.is_empty() {
+        return;
+    }
+    let batch: Vec<(String, cqa_query::ConjunctiveQuery)> = entries
+        .iter()
+        .filter_map(|(name, parsed)| parsed.as_ref().ok().map(|q| (name.clone(), q.clone())))
+        .collect();
+    *served += batch.len();
+    let mut results = engine.run(batch).into_iter();
+    for (name, parsed) in entries.drain(..) {
+        if let Err(e) = parsed {
+            println!("{name}: error: {e}");
+            continue;
+        }
+        let result = results.next().expect("one result per parsed query");
+        match result.outcome {
+            BatchOutcome::Boolean {
+                certain,
+                possible,
+                solver,
+            } => println!(
+                "{}: {} (possible: {possible}, solver: {solver})",
+                result.name,
+                if certain { "certain" } else { "not certain" },
+            ),
+            BatchOutcome::Answers(sets) => {
+                println!(
+                    "{}: {} certain / {} possible",
+                    result.name,
+                    sets.certain.len(),
+                    sets.possible.len()
+                );
+                for tuple in &sets.certain {
+                    let rendered: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+                    println!("  certain: ({})", rendered.join(", "));
+                }
+            }
+            BatchOutcome::Error(e) => println!("{}: error: {e}", result.name),
+        }
+    }
+}
+
+/// One serving-stats line: throughput, latency percentiles (from the
+/// `par.batch.query_nanos` histogram) and cache hit rates.
+fn serve_stats_line(engine: &BatchEngine, served: usize, started: Instant) -> String {
+    engine.pool().record_metrics();
+    let snapshot = cqa_obs::Registry::global().snapshot();
+    let qps = served as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    let (p50, p99) = snapshot
+        .histogram("par.batch.query_nanos")
+        .map(|h| {
+            (
+                h.percentile(50.0) as f64 / 1e6,
+                h.percentile(99.0) as f64 / 1e6,
+            )
+        })
+        .unwrap_or((0.0, 0.0));
+    let rate = |prefix: &str| {
+        snapshot
+            .hit_rate(prefix)
+            .map_or_else(|| "-".to_string(), |r| format!("{:.0}%", r * 100.0))
+    };
+    format!(
+        "stats: {served} served, {qps:.1} qps, p50 {p50:.3} ms, p99 {p99:.3} ms, \
+         plan-cache {}, engine-cache {}, steals {}",
+        rate("exec.plan_cache"),
+        rate("par.batch.engine"),
+        engine.pool().steals()
+    )
 }
 
 fn run() -> Result<(), String> {
@@ -131,6 +224,7 @@ fn run() -> Result<(), String> {
             }
         }
         "explain" => {
+            let analyze = has_flag("--analyze");
             let index = doc.database.index();
             let stats = index.statistics();
             for (name, query) in &selected {
@@ -140,13 +234,30 @@ fn run() -> Result<(), String> {
                     doc.database.block_count()
                 );
                 let plan = QueryPlan::compile(query, Some(stats));
-                print!("{}", plan.explain());
+                if analyze {
+                    let sink = Arc::new(TraceSink::new(plan.trace_ops()));
+                    let answers = plan.prepare(&index).with_trace(sink.clone()).answers();
+                    print!("{}", plan.explain_analyze(&sink));
+                    println!("  ({} answer(s) on the database)", answers.len());
+                } else {
+                    print!("{}", plan.explain());
+                }
                 if query.is_boolean() {
                     match certain_rewriting(query) {
                         Ok(formula) => {
                             let fo = FoPlan::compile(&formula, query.schema(), Some(stats));
                             println!("{name}: certain rewriting plan (Theorem 1)");
-                            print!("{}", fo.explain());
+                            if analyze {
+                                let sink = Arc::new(TraceSink::new(fo.trace_ops()));
+                                let verdict = fo.prepare(&index).with_trace(sink.clone()).eval();
+                                print!("{}", fo.explain_analyze(&sink));
+                                println!(
+                                    "  (verdict: {})",
+                                    if verdict { "certain" } else { "not certain" }
+                                );
+                            } else {
+                                print!("{}", fo.explain());
+                            }
                         }
                         Err(e) => println!("{name}: no certain first-order rewriting ({e})"),
                     }
@@ -158,7 +269,23 @@ fn run() -> Result<(), String> {
                                 "{name}: open certain rewriting plan (Theorem 1; candidate \
                                  answers decided in batch)"
                             );
-                            print!("{}", fo.explain());
+                            if analyze {
+                                let candidates: Vec<Vec<cqa_data::Value>> =
+                                    plan.prepare(&index).answers().into_iter().collect();
+                                let sink = Arc::new(TraceSink::new(fo.trace_ops()));
+                                let verdicts = fo
+                                    .prepare(&index)
+                                    .with_trace(sink.clone())
+                                    .eval_tuples(query.free_vars(), &candidates);
+                                print!("{}", fo.explain_analyze(&sink));
+                                println!(
+                                    "  ({} of {} candidate(s) certain)",
+                                    verdicts.iter().filter(|&&v| v).count(),
+                                    candidates.len()
+                                );
+                            } else {
+                                print!("{}", fo.explain());
+                            }
                         }
                         Err(e) => println!(
                             "{name}: no certain first-order rewriting ({e}); candidate answers \
@@ -195,14 +322,22 @@ fn run() -> Result<(), String> {
             };
             let thread_count = pool.thread_count();
             let engine = BatchEngine::new(doc.database.snapshot(), pool);
-            // Read the whole newline-delimited stream, then answer it as
-            // one concurrent batch; parse failures keep their place in the
-            // output without stopping the stream.
+            let started = Instant::now();
+            let mut served = 0usize;
+            // Read the newline-delimited stream in chunks, answering each
+            // chunk as one concurrent batch; parse failures keep their
+            // place in the output without stopping the stream. A `\stats`
+            // line flushes the pending chunk and reports serving metrics.
             let mut entries: Vec<(String, Result<cqa_query::ConjunctiveQuery, String>)> =
                 Vec::new();
             for (i, line) in std::io::stdin().lock().lines().enumerate() {
                 let line = line.map_err(|e| format!("stdin: {e}"))?;
                 let text = line.split('#').next().unwrap_or("").trim();
+                if text == "\\stats" {
+                    flush_serve(&engine, &mut entries, &mut served);
+                    println!("{}", serve_stats_line(&engine, served, started));
+                    continue;
+                }
                 let text = text.strip_prefix("certain ").unwrap_or(text).trim();
                 if text.is_empty() {
                     continue;
@@ -211,48 +346,37 @@ fn run() -> Result<(), String> {
                     Ok((name, query)) => entries.push((name, Ok(query))),
                     Err(e) => entries.push((format!("q{}", i + 1), Err(e.to_string()))),
                 }
-            }
-            let batch: Vec<(String, cqa_query::ConjunctiveQuery)> = entries
-                .iter()
-                .filter_map(|(name, parsed)| {
-                    parsed.as_ref().ok().map(|q| (name.clone(), q.clone()))
-                })
-                .collect();
-            let served = batch.len();
-            let mut results = engine.run(batch).into_iter();
-            for (name, parsed) in entries {
-                if let Err(e) = parsed {
-                    println!("{name}: error: {e}");
-                    continue;
-                }
-                let result = results.next().expect("one result per parsed query");
-                match result.outcome {
-                    BatchOutcome::Boolean {
-                        certain,
-                        possible,
-                        solver,
-                    } => println!(
-                        "{}: {} (possible: {possible}, solver: {solver})",
-                        result.name,
-                        if certain { "certain" } else { "not certain" },
-                    ),
-                    BatchOutcome::Answers(sets) => {
-                        println!(
-                            "{}: {} certain / {} possible",
-                            result.name,
-                            sets.certain.len(),
-                            sets.possible.len()
-                        );
-                        for tuple in &sets.certain {
-                            let rendered: Vec<String> =
-                                tuple.iter().map(|v| v.to_string()).collect();
-                            println!("  certain: ({})", rendered.join(", "));
-                        }
-                    }
-                    BatchOutcome::Error(e) => println!("{}: error: {e}", result.name),
+                if entries.len() >= SERVE_CHUNK {
+                    flush_serve(&engine, &mut entries, &mut served);
+                    eprintln!("{}", serve_stats_line(&engine, served, started));
                 }
             }
+            flush_serve(&engine, &mut entries, &mut served);
             eprintln!("served {served} queries on {thread_count} threads");
+            eprintln!("{}", serve_stats_line(&engine, served, started));
+        }
+        "stats" => {
+            for (name, query) in &selected {
+                if query.is_boolean() {
+                    let engine = CertaintyEngine::new(query).map_err(|e| e.to_string())?;
+                    println!(
+                        "{name}: certain={} possible={} (solver: {})",
+                        engine.is_certain(&doc.database),
+                        engine.is_possible(&doc.database),
+                        engine.solver_name()
+                    );
+                } else {
+                    let sets = certain_answers(query, &doc.database).map_err(|e| e.to_string())?;
+                    println!(
+                        "{name}: {} certain / {} possible",
+                        sets.certain.len(),
+                        sets.possible.len()
+                    );
+                }
+            }
+            println!();
+            println!("metrics after answering {} query(ies):", selected.len());
+            print!("{}", cqa_obs::Registry::global().snapshot().render());
         }
         "attack-graph" => {
             for (name, query) in &selected {

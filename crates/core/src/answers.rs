@@ -151,14 +151,20 @@ impl CertainAnswersEngine {
     ) -> Result<Vec<bool>, QueryError> {
         match self.open_plan(db) {
             Some(plan) => {
+                cqa_obs::count!("core.answers.batch");
+                cqa_obs::count!("core.answers.batch_tuples", tuples.len() as u64);
                 let index = db.index();
                 let prepared = plan.prepare(&index).with_mode(self.mode);
                 Ok(prepared.eval_tuples(&self.free, tuples))
             }
-            None => tuples
-                .iter()
-                .map(|tuple| tuple_is_certain(&self.query, &self.free, tuple, db))
-                .collect(),
+            None => {
+                cqa_obs::count!("core.answers.fallback");
+                cqa_obs::count!("core.answers.fallback_tuples", tuples.len() as u64);
+                tuples
+                    .iter()
+                    .map(|tuple| tuple_is_certain(&self.query, &self.free, tuple, db))
+                    .collect()
+            }
         }
     }
 

@@ -93,17 +93,31 @@ impl CertaintyEngine {
     pub fn new(query: &ConjunctiveQuery) -> Result<Self, QueryError> {
         let classification = classify(query)?;
         let solver: Box<dyn CertaintySolver + Send + Sync> = match &classification.class {
-            ComplexityClass::FirstOrderExpressible => Box::new(RewritingSolver::new(query)?),
+            ComplexityClass::FirstOrderExpressible => {
+                cqa_obs::count!("core.classify.fo");
+                Box::new(RewritingSolver::new(query)?)
+            }
             ComplexityClass::PolynomialTime(PtimeReason::WeakTerminalCycles) => {
+                cqa_obs::count!("core.classify.ptime_terminal_cycle");
                 Box::new(TerminalCycleSolver::new(query)?)
             }
             ComplexityClass::PolynomialTime(PtimeReason::CycleQueryAc { .. })
             | ComplexityClass::PolynomialTime(PtimeReason::CycleQueryC { .. }) => {
+                cqa_obs::count!("core.classify.ptime_cycle_query");
                 Box::new(CycleQuerySolver::new(query)?)
             }
-            ComplexityClass::CoNpComplete
-            | ComplexityClass::OpenConjecturedPtime
-            | ComplexityClass::OutsideAcyclicScope => Box::new(ExactOracle::new(query)?),
+            ComplexityClass::CoNpComplete => {
+                cqa_obs::count!("core.classify.conp");
+                Box::new(ExactOracle::new(query)?)
+            }
+            ComplexityClass::OpenConjecturedPtime => {
+                cqa_obs::count!("core.classify.open");
+                Box::new(ExactOracle::new(query)?)
+            }
+            ComplexityClass::OutsideAcyclicScope => {
+                cqa_obs::count!("core.classify.outside");
+                Box::new(ExactOracle::new(query)?)
+            }
         };
         Ok(CertaintyEngine {
             classification,

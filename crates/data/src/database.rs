@@ -85,11 +85,15 @@ impl UncertainDatabase {
             .read()
             .unwrap_or_else(PoisonError::into_inner)
         {
+            cqa_obs::count!("data.index.cache.hit");
             return snapshot.clone();
         }
+        cqa_obs::count!("data.index.cache.miss");
         // Build outside any lock; concurrent builders race harmlessly (the
         // first write wins and later builds produce an identical snapshot).
+        let started = std::time::Instant::now();
         let snapshot = Arc::new(DatabaseIndex::build(self));
+        cqa_obs::observe_duration!("data.index.build_nanos", started.elapsed());
         let mut cache = self
             .index_cache
             .write()
@@ -113,10 +117,13 @@ impl UncertainDatabase {
 
     /// Drops the cached index snapshot; called by every mutating method.
     fn invalidate_index(&mut self) {
-        *self
+        let cache = self
             .index_cache
             .get_mut()
-            .unwrap_or_else(PoisonError::into_inner) = None;
+            .unwrap_or_else(PoisonError::into_inner);
+        if cache.take().is_some() {
+            cqa_obs::count!("data.index.invalidated");
+        }
     }
 
     /// Builds a database from an iterator of facts.

@@ -358,6 +358,7 @@ impl DatabaseIndex {
 
     fn active_domain_shared_ref(&self) -> &Arc<[Value]> {
         self.active_domain.get_or_init(|| {
+            cqa_obs::count!("data.active_domain.build");
             let mut dom: Vec<Value> = self
                 .facts
                 .iter()
@@ -377,6 +378,7 @@ impl DatabaseIndex {
     /// plan compiled against one snapshot is executed against another.
     pub fn statistics(&self) -> &Statistics {
         self.statistics.get_or_init(|| {
+            cqa_obs::count!("data.statistics.build");
             let relations = self
                 .by_relation
                 .iter()
@@ -422,11 +424,15 @@ impl DatabaseIndex {
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
+            cqa_obs::count!("data.position_index.hit");
             return existing.clone();
         }
+        cqa_obs::count!("data.position_index.miss");
         // Build outside the lock: concurrent builders may race, in which
         // case one result wins and the duplicates are dropped — harmless.
+        let started = std::time::Instant::now();
         let built = Arc::new(PositionIndex::build(self, relation, positions));
+        cqa_obs::observe_duration!("data.position_index.build_nanos", started.elapsed());
         let mut cache = self
             .position_indexes
             .lock()
@@ -437,7 +443,19 @@ impl DatabaseIndex {
     /// The dictionary-encoded columnar view of the snapshot, materialized on
     /// first use and cached — the value arrays the vectorized executor scans.
     pub fn columnar(&self) -> &Columnar {
-        self.columnar.get_or_init(|| Columnar::build(self))
+        // The pre-check races benignly: two first callers may both count a
+        // miss, but `get_or_init` still builds exactly once.
+        if self.columnar.get().is_some() {
+            cqa_obs::count!("data.columnar.hit");
+        } else {
+            cqa_obs::count!("data.columnar.miss");
+        }
+        self.columnar.get_or_init(|| {
+            let started = std::time::Instant::now();
+            let built = Columnar::build(self);
+            cqa_obs::observe_duration!("data.columnar.build_nanos", started.elapsed());
+            built
+        })
     }
 
     /// The packed-code hash index of `relation` over one or two `positions`
@@ -457,10 +475,14 @@ impl DatabaseIndex {
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
+            cqa_obs::count!("data.code_index.hit");
             return existing.clone();
         }
+        cqa_obs::count!("data.code_index.miss");
         // Same build-outside-the-lock pattern as `position_index`.
+        let started = std::time::Instant::now();
         let built = Arc::new(build_code_index(self.columnar(), relation, positions));
+        cqa_obs::observe_duration!("data.code_index.build_nanos", started.elapsed());
         let mut cache = self
             .code_indexes
             .lock()

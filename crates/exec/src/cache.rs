@@ -6,18 +6,46 @@
 //! cache key is a structural fingerprint — relation signatures plus the
 //! query rendering — rather than a pointer, so schema clones hit the same
 //! entry and a dropped-and-reallocated schema cannot alias a stale one.
+//!
+//! The cache is **bounded**: beyond its capacity the least-recently-used
+//! entry is evicted, so a service fed an unbounded stream of distinct
+//! queries cannot grow without limit. Recency is tracked by a per-entry
+//! stamp bumped from a global tick on every hit, which keeps the hot path
+//! under the shared read lock; eviction (rare by construction) does an
+//! O(n) min-stamp scan under the write lock. Hits, misses and evictions
+//! are counted in the metrics registry under `exec.plan_cache.*`.
 
 use crate::QueryPlan;
 use cqa_data::Statistics;
 use cqa_query::ConjunctiveQuery;
 use rustc_hash::FxHashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
-/// A thread-safe, poison-proof cache of compiled [`QueryPlan`]s.
-#[derive(Default)]
+/// Default capacity: far above any workload in this repo (the CLI and the
+/// batch engine see tens of distinct queries), so eviction only engages
+/// under a genuinely unbounded query stream.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// A cached plan plus its last-touched stamp.
+struct Entry {
+    plan: Arc<QueryPlan>,
+    touched: AtomicU64,
+}
+
+/// A thread-safe, poison-proof, LRU-bounded cache of compiled
+/// [`QueryPlan`]s.
 pub struct PlanCache {
-    plans: RwLock<FxHashMap<String, Arc<QueryPlan>>>,
+    plans: RwLock<FxHashMap<String, Entry>>,
+    capacity: usize,
+    tick: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_CAPACITY)
+    }
 }
 
 /// The cache key of a query: relation signatures followed by the query
@@ -40,30 +68,67 @@ pub fn fingerprint(query: &ConjunctiveQuery) -> String {
 }
 
 impl PlanCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the [default capacity](DEFAULT_CAPACITY).
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    /// Creates an empty cache evicting beyond `capacity` plans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            plans: RwLock::new(FxHashMap::default()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The capacity beyond which least-recently-used plans are evicted.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The compiled plan for `query`, compiling (with `stats` guiding the
     /// join order) only on the first request for this `(schema, query)`.
     pub fn plan(&self, query: &ConjunctiveQuery, stats: Option<&Statistics>) -> Arc<QueryPlan> {
         let key = fingerprint(query);
-        if let Some(plan) = self
+        if let Some(entry) = self
             .plans
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
-            return plan.clone();
+            entry.touched.store(
+                self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            );
+            cqa_obs::count!("exec.plan_cache.hit");
+            return entry.plan.clone();
         }
+        cqa_obs::count!("exec.plan_cache.miss");
+        // Compile outside the lock: concurrent first requests may compile
+        // twice, but only one result is kept and both callers get it.
         let compiled = Arc::new(QueryPlan::compile(query, stats));
-        self.plans
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
+        let mut guard = self.plans.write().unwrap_or_else(PoisonError::into_inner);
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let plan = guard
             .entry(key)
-            .or_insert(compiled)
-            .clone()
+            .or_insert_with(|| Entry {
+                plan: compiled,
+                touched: AtomicU64::new(stamp),
+            })
+            .plan
+            .clone();
+        if guard.len() > self.capacity {
+            let oldest = guard
+                .iter()
+                .min_by_key(|(_, entry)| entry.touched.load(Ordering::Relaxed))
+                .map(|(key, _)| key.clone());
+            if let Some(oldest) = oldest {
+                guard.remove(&oldest);
+                cqa_obs::count!("exec.plan_cache.eviction");
+            }
+        }
+        plan
     }
 
     /// Number of cached plans.
@@ -118,5 +183,34 @@ mod tests {
         let index = db.index();
         let plan = cache.plan(&q, Some(index.statistics()));
         assert!(plan.satisfies(&db));
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_used_plan() {
+        let cache = PlanCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let first = catalog::conference().query;
+        let second = catalog::fo_path2().query;
+        let third = catalog::fo_path3().query;
+        let a = cache.plan(&first, None);
+        cache.plan(&second, None);
+        // Touch `first` so `second` is now the least recently used.
+        cache.plan(&first, None);
+        cache.plan(&third, None);
+        assert_eq!(cache.len(), 2);
+        // `first` survived the eviction; `second` was dropped and
+        // recompiles to a fresh allocation.
+        let a2 = cache.plan(&first, None);
+        assert!(StdArc::ptr_eq(&a, &a2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let cache = PlanCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.plan(&catalog::conference().query, None);
+        cache.plan(&catalog::fo_path2().query, None);
+        assert_eq!(cache.len(), 1);
     }
 }

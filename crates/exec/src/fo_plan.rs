@@ -37,12 +37,14 @@ use cqa_data::{
     DatabaseIndex, FactId, PositionIndex, PositionSet, RelationId, Schema, Statistics,
     UncertainDatabase, Value,
 };
+use cqa_obs::TraceSink;
 use cqa_query::fo_formula::FoFormula;
 use cqa_query::{Term, Variable};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A physical operator of a compiled formula plan.
 pub(crate) enum FoOp {
@@ -73,9 +75,21 @@ pub(crate) enum FoOp {
         body: Box<FoOp>,
     },
     /// ∃ over the active domain (no restriction found).
-    ExistsDomain { slot: Slot, body: Box<FoOp> },
+    ExistsDomain {
+        slot: Slot,
+        /// Trace-cell id (shares the probe-id space so one sink indexes
+        /// every traced operator of the plan; no index handle is resolved
+        /// for it).
+        trace_id: usize,
+        body: Box<FoOp>,
+    },
     /// ∀ over the active domain.
-    ForallDomain { slot: Slot, body: Box<FoOp> },
+    ForallDomain {
+        slot: Slot,
+        /// Trace-cell id (same id space as `ExistsDomain::trace_id`).
+        trace_id: usize,
+        body: Box<FoOp>,
+    },
 }
 
 impl FoOp {
@@ -182,6 +196,7 @@ impl FoPlan {
             handles,
             mode,
             vec,
+            trace: None,
         }
     }
 
@@ -197,29 +212,58 @@ impl FoPlan {
         self.prepare(&db.index()).eval_with(env)
     }
 
+    /// Number of trace cells a [`cqa_obs::TraceSink`] for this plan needs:
+    /// one per probing/scanning operator (probe ids and domain trace ids
+    /// share the space).
+    pub fn trace_ops(&self) -> usize {
+        self.probe_count
+    }
+
     /// Renders the operator tree, one operator per line, with probe
     /// patterns and cost-model estimates.
     pub fn explain(&self) -> String {
+        self.render_with(None)
+    }
+
+    /// [`FoPlan::explain`] plus the **actuals** a traced execution
+    /// recorded: per-operator invocation/row/match counts (and waves /
+    /// row-fallback rows where they occurred) next to the estimates, and a
+    /// header line with wall time and the executor path taken.
+    pub fn explain_analyze(&self, trace: &TraceSink) -> String {
+        self.render_with(Some(trace))
+    }
+
+    fn render_with(&self, trace: Option<&TraceSink>) -> String {
         let mut out = String::new();
-        let path = if self.estimated_work >= crate::vec::FO_VEC_CUTOFF {
+        let cutoff = crate::tuning::fo_vec_cutoff();
+        let path = if self.estimated_work >= cutoff {
             "vectorized"
         } else {
             "row-at-a-time"
         };
         let _ = writeln!(
             out,
-            "  exec: est work ≈ {:.0} vs auto cutoff {:.0} → {path} path \
+            "  exec: est work ≈ {:.0} vs auto cutoff {cutoff:.0} → {path} path \
              (operators marked [vec]/[row])",
             self.estimated_work,
-            crate::vec::FO_VEC_CUTOFF,
         );
-        self.render(&self.root, 1, &mut out);
+        if let Some(sink) = trace {
+            let _ = writeln!(
+                out,
+                "  actual: {} vectorized + {} row run(s), wall {:.3} ms",
+                sink.vec_runs(),
+                sink.row_runs(),
+                sink.wall().as_secs_f64() * 1e3,
+            );
+        }
+        self.render(&self.root, 1, trace, &mut out);
         out
     }
 
-    fn render(&self, op: &FoOp, depth: usize, out: &mut String) {
+    fn render(&self, op: &FoOp, depth: usize, trace: Option<&TraceSink>, out: &mut String) {
         let pad = "  ".repeat(depth);
         let mark = crate::vec::fo_op_marker(op);
+        let act = trace_suffix(trace, fo_op_trace_id(op));
         match op {
             FoOp::Bool(b) => {
                 let _ = writeln!(out, "{pad}{b} {mark}");
@@ -227,7 +271,7 @@ impl FoPlan {
             FoOp::Lookup(spec) => {
                 let _ = writeln!(
                     out,
-                    "{pad}lookup {} {mark}",
+                    "{pad}lookup {} {mark}{act}",
                     spec.render(&self.schema, &self.slots)
                 );
             }
@@ -240,37 +284,37 @@ impl FoPlan {
             }
             FoOp::Not(inner) => {
                 let _ = writeln!(out, "{pad}¬ {mark}");
-                self.render(inner, depth + 1, out);
+                self.render(inner, depth + 1, trace, out);
             }
             FoOp::All(parts) => {
                 let _ = writeln!(out, "{pad}all {mark}");
                 for p in parts {
-                    self.render(p, depth + 1, out);
+                    self.render(p, depth + 1, trace, out);
                 }
             }
             FoOp::Any(parts) => {
                 let _ = writeln!(out, "{pad}any {mark}");
                 for p in parts {
-                    self.render(p, depth + 1, out);
+                    self.render(p, depth + 1, trace, out);
                 }
             }
             FoOp::ExistsScan { spec, body } => {
                 let _ = writeln!(
                     out,
-                    "{pad}∃-scan {:<40} est ≈ {:.1} rows {mark}",
+                    "{pad}∃-scan {:<40} est ≈ {:.1} rows {mark}{act}",
                     spec.render(&self.schema, &self.slots),
                     spec.estimated_rows
                 );
-                self.render(body, depth + 1, out);
+                self.render(body, depth + 1, trace, out);
             }
             FoOp::ForallBlock { spec, body } => {
                 let _ = writeln!(
                     out,
-                    "{pad}∀-block {:<39} est ≈ {:.1} rows {mark}",
+                    "{pad}∀-block {:<39} est ≈ {:.1} rows {mark}{act}",
                     spec.render(&self.schema, &self.slots),
                     spec.estimated_rows
                 );
-                self.render(body, depth + 1, out);
+                self.render(body, depth + 1, trace, out);
             }
             FoOp::ExistsColumn {
                 relation,
@@ -281,22 +325,62 @@ impl FoPlan {
             } => {
                 let _ = writeln!(
                     out,
-                    "{pad}∃-column {} ∈ {}.{position} {mark}",
+                    "{pad}∃-column {} ∈ {}.{position} {mark}{act}",
                     self.slots[*slot],
                     self.schema.relation(*relation).name
                 );
-                self.render(body, depth + 1, out);
+                self.render(body, depth + 1, trace, out);
             }
-            FoOp::ExistsDomain { slot, body } => {
-                let _ = writeln!(out, "{pad}∃-domain {} {mark}", self.slots[*slot]);
-                self.render(body, depth + 1, out);
+            FoOp::ExistsDomain { slot, body, .. } => {
+                let _ = writeln!(out, "{pad}∃-domain {} {mark}{act}", self.slots[*slot]);
+                self.render(body, depth + 1, trace, out);
             }
-            FoOp::ForallDomain { slot, body } => {
-                let _ = writeln!(out, "{pad}∀-domain {} {mark}", self.slots[*slot]);
-                self.render(body, depth + 1, out);
+            FoOp::ForallDomain { slot, body, .. } => {
+                let _ = writeln!(out, "{pad}∀-domain {} {mark}{act}", self.slots[*slot]);
+                self.render(body, depth + 1, trace, out);
             }
         }
     }
+}
+
+/// The trace-cell id of one operator, `None` for operators that are not
+/// traced (constant-time combinators).
+pub(crate) fn fo_op_trace_id(op: &FoOp) -> Option<usize> {
+    match op {
+        FoOp::Bool(_) | FoOp::Eq(_, _) | FoOp::Not(_) | FoOp::All(_) | FoOp::Any(_) => None,
+        FoOp::Lookup(spec) | FoOp::ExistsScan { spec, .. } | FoOp::ForallBlock { spec, .. } => {
+            Some(spec.probe_id)
+        }
+        FoOp::ExistsColumn { probe_id, .. } => Some(*probe_id),
+        FoOp::ExistsDomain { trace_id, .. } | FoOp::ForallDomain { trace_id, .. } => {
+            Some(*trace_id)
+        }
+    }
+}
+
+/// The `| act: …` suffix of one explain-analyze line: what the traced
+/// execution actually did at this operator.
+pub(crate) fn trace_suffix(trace: Option<&TraceSink>, id: Option<usize>) -> String {
+    let (Some(sink), Some(id)) = (trace, id) else {
+        return String::new();
+    };
+    let cell = sink.op(id);
+    if cell.is_empty() {
+        return "  | act: not visited".to_owned();
+    }
+    let mut out = format!(
+        "  | act: {} inv, {} rows, {} hit",
+        cell.invocations(),
+        cell.rows(),
+        cell.matches(),
+    );
+    if cell.waves() > 0 {
+        let _ = write!(out, ", {} waves", cell.waves());
+    }
+    if cell.fallback_rows() > 0 {
+        let _ = write!(out, ", {} row-fallback", cell.fallback_rows());
+    }
+    out
 }
 
 /// Collects the free variables of a formula (those evaluated from the
@@ -587,7 +671,10 @@ impl Lowerer<'_> {
                             slot,
                             probe_id: self.next_probe(),
                         }),
-                        None => layers.push(Layer::Domain(slot)),
+                        None => layers.push(Layer::Domain {
+                            slot,
+                            trace_id: self.next_probe(),
+                        }),
                     }
                     self.bound[slot] = true;
                 }
@@ -618,8 +705,9 @@ impl Lowerer<'_> {
                     probe_id,
                     body: Box::new(op),
                 },
-                Layer::Domain(slot) => FoOp::ExistsDomain {
+                Layer::Domain { slot, trace_id } => FoOp::ExistsDomain {
                     slot,
+                    trace_id,
                     body: Box::new(op),
                 },
             };
@@ -677,6 +765,7 @@ impl Lowerer<'_> {
                 for &slot in rest.iter().rev() {
                     body_op = FoOp::ForallDomain {
                         slot,
+                        trace_id: self.next_probe(),
                         body: Box::new(body_op),
                     };
                 }
@@ -693,6 +782,7 @@ impl Lowerer<'_> {
                 for &slot in var_slots.iter().rev() {
                     op = FoOp::ForallDomain {
                         slot,
+                        trace_id: self.next_probe(),
                         body: Box::new(op),
                     };
                 }
@@ -786,7 +876,10 @@ enum Layer {
         slot: Slot,
         probe_id: usize,
     },
-    Domain(Slot),
+    Domain {
+        slot: Slot,
+        trace_id: usize,
+    },
 }
 
 /// The conjuncts of a top-level conjunction (or the formula itself).
@@ -832,6 +925,7 @@ pub struct PreparedFo<'p> {
     pub(crate) handles: Vec<Option<Arc<PositionIndex>>>,
     pub(crate) mode: crate::vec::ExecMode,
     pub(crate) vec: Option<crate::vec::VecFo<'p>>,
+    pub(crate) trace: Option<Arc<TraceSink>>,
 }
 
 impl PreparedFo<'_> {
@@ -850,6 +944,22 @@ impl PreparedFo<'_> {
         self
     }
 
+    /// Installs a trace sink: every subsequent evaluation records its
+    /// per-operator events into it (shareable across threads, so `cqa-par`
+    /// shards can report into one sink). Tracing never changes verdicts.
+    ///
+    /// # Panics
+    /// If the sink was not sized with [`FoPlan::trace_ops`].
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        assert_eq!(
+            sink.op_count(),
+            self.plan.trace_ops(),
+            "trace sink sized for a different plan"
+        );
+        self.trace = Some(sink);
+        self
+    }
+
     /// The execution mode this prepared instance runs under.
     pub fn mode(&self) -> crate::vec::ExecMode {
         self.mode
@@ -861,29 +971,58 @@ impl PreparedFo<'_> {
             crate::vec::ExecMode::RowAtATime => false,
             crate::vec::ExecMode::Vectorized => self.vec.is_some(),
             crate::vec::ExecMode::Auto => {
-                self.vec.is_some() && self.plan.estimated_work >= crate::vec::FO_VEC_CUTOFF
+                self.vec.is_some() && self.plan.estimated_work >= crate::tuning::fo_vec_cutoff()
             }
         }
+    }
+
+    /// Records path choice and wall time of one entry-point run into the
+    /// installed trace sink (a no-op without one).
+    fn entry_point<T>(&self, vectorized: bool, run: impl FnOnce() -> T) -> T {
+        let Some(sink) = &self.trace else {
+            return run();
+        };
+        if vectorized {
+            sink.count_vec_run();
+        } else {
+            sink.count_row_run();
+        }
+        let started = Instant::now();
+        let out = run();
+        sink.add_wall(started.elapsed());
+        out
     }
 
     /// Evaluates the plan as a sentence.
     pub fn eval(&self) -> bool {
-        if self.use_vec() {
-            return crate::vec::eval_sentence(self);
+        let vectorized = self.use_vec();
+        if vectorized {
+            cqa_obs::count!("exec.fo.eval.vec");
+        } else {
+            cqa_obs::count!("exec.fo.eval.row");
         }
-        let mut regs = Registers::new(self.plan.slots.len());
-        self.eval_op(&self.plan.root, &mut regs)
+        self.entry_point(vectorized, || {
+            if vectorized {
+                crate::vec::eval_sentence(self)
+            } else {
+                let mut regs = Registers::new(self.plan.slots.len());
+                self.eval_op(&self.plan.root, &mut regs)
+            }
+        })
     }
 
     /// Evaluates with bindings for the formula's free variables.
     pub fn eval_with(&self, env: &FxHashMap<Variable, Value>) -> bool {
-        let mut regs = Registers::new(self.plan.slots.len());
-        for (var, slot) in &self.plan.free {
-            if let Some(value) = env.get(var) {
-                regs.set(*slot, value.clone());
+        cqa_obs::count!("exec.fo.eval.row");
+        self.entry_point(false, || {
+            let mut regs = Registers::new(self.plan.slots.len());
+            for (var, slot) in &self.plan.free {
+                if let Some(value) = env.get(var) {
+                    regs.set(*slot, value.clone());
+                }
             }
-        }
-        self.eval_op(&self.plan.root, &mut regs)
+            self.eval_op(&self.plan.root, &mut regs)
+        })
     }
 
     /// Row-path evaluation of one `vars ↦ tuple` binding (positional
@@ -908,17 +1047,25 @@ impl PreparedFo<'_> {
             crate::vec::ExecMode::RowAtATime => false,
             crate::vec::ExecMode::Vectorized => self.vec.is_some(),
             crate::vec::ExecMode::Auto => {
-                self.vec.is_some() && tuples.len() >= crate::vec::TUPLE_BATCH_MIN
+                self.vec.is_some() && tuples.len() >= crate::tuning::tuple_batch_min()
             }
         };
+        cqa_obs::observe!("exec.fo.batch_tuples", tuples.len() as u64);
         if use_vec {
-            crate::vec::eval_tuples(self, vars, tuples)
+            cqa_obs::count!("exec.fo.eval_tuples.vec");
         } else {
-            tuples
-                .iter()
-                .map(|tuple| self.eval_tuple_row(vars, tuple))
-                .collect()
+            cqa_obs::count!("exec.fo.eval_tuples.row");
         }
+        self.entry_point(use_vec, || {
+            if use_vec {
+                crate::vec::eval_tuples(self, vars, tuples)
+            } else {
+                tuples
+                    .iter()
+                    .map(|tuple| self.eval_tuple_row(vars, tuple))
+                    .collect()
+            }
+        })
     }
 
     /// The width of the plan's **root candidate space**, when the root
@@ -952,32 +1099,59 @@ impl PreparedFo<'_> {
     /// the shard containing index 0, so the disjunction over a partition
     /// still equals [`PreparedFo::eval`].
     pub fn eval_root_shard(&self, shard: std::ops::Range<usize>) -> bool {
-        if self.use_vec() {
-            return crate::vec::eval_root_shard(self, shard);
-        }
-        let mut regs = Registers::new(self.plan.slots.len());
-        let FoOp::ExistsScan { spec, body } = &self.plan.root else {
-            return shard.start == 0 && self.eval_op(&self.plan.root, &mut regs);
-        };
-        let Some(candidates) =
-            spec.candidates(&self.index, self.handles[spec.probe_id].as_ref(), &regs)
-        else {
-            return false;
-        };
-        let ids = candidates.ids();
-        let lo = shard.start.min(ids.len());
-        let hi = shard.end.min(ids.len());
-        let mut writes = Vec::new();
-        let mut found = false;
-        for &fid in &ids[lo..hi] {
-            regs.undo(&mut writes);
-            let fact = self.index.fact(FactId::from_index(fid as usize));
-            if spec.apply(fact, &mut regs, &mut writes) && self.eval_op(body, &mut regs) {
-                found = true;
-                break;
+        let vectorized = self.use_vec();
+        self.entry_point(vectorized, || {
+            if vectorized {
+                return crate::vec::eval_root_shard(self, shard.clone());
             }
+            let mut regs = Registers::new(self.plan.slots.len());
+            let FoOp::ExistsScan { spec, body } = &self.plan.root else {
+                return shard.start == 0 && self.eval_op(&self.plan.root, &mut regs);
+            };
+            let Some(candidates) =
+                spec.candidates(&self.index, self.handles[spec.probe_id].as_ref(), &regs)
+            else {
+                return false;
+            };
+            let ids = candidates.ids();
+            let lo = shard.start.min(ids.len());
+            let hi = shard.end.min(ids.len());
+            let mut writes = Vec::new();
+            let mut found = false;
+            let mut scanned = 0u64;
+            let mut unified = 0u64;
+            for &fid in &ids[lo..hi] {
+                regs.undo(&mut writes);
+                scanned += 1;
+                let fact = self.index.fact(FactId::from_index(fid as usize));
+                if spec.apply(fact, &mut regs, &mut writes) {
+                    unified += 1;
+                    if self.eval_op(body, &mut regs) {
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if let Some(sink) = &self.trace {
+                let cell = sink.op(spec.probe_id);
+                cell.add_invocations(1);
+                cell.add_rows(scanned);
+                cell.add_matches(unified);
+            }
+            found
+        })
+    }
+
+    /// Flushes one operator visit's locally-counted events to the trace
+    /// sink (the single `Option` branch a traceless run pays per visit).
+    #[inline]
+    fn flush_op(&self, id: usize, scanned: u64, matched: u64) {
+        if let Some(sink) = &self.trace {
+            let cell = sink.op(id);
+            cell.add_invocations(1);
+            cell.add_rows(scanned);
+            cell.add_matches(matched);
         }
-        found
     }
 
     pub(crate) fn eval_op(&self, op: &FoOp, regs: &mut Registers) -> bool {
@@ -987,13 +1161,22 @@ impl PreparedFo<'_> {
                 let Some(candidates) =
                     spec.candidates(&self.index, self.handles[spec.probe_id].as_ref(), regs)
                 else {
+                    self.flush_op(spec.probe_id, 0, 0);
                     return false;
                 };
                 let mut no_writes = Vec::new();
-                candidates.ids().iter().any(|&fid| {
+                let mut scanned = 0u64;
+                let mut hit = false;
+                for &fid in candidates.ids() {
+                    scanned += 1;
                     let fact = self.index.fact(FactId::from_index(fid as usize));
-                    spec.apply(fact, regs, &mut no_writes)
-                })
+                    if spec.apply(fact, regs, &mut no_writes) {
+                        hit = true;
+                        break;
+                    }
+                }
+                self.flush_op(spec.probe_id, scanned, u64::from(hit));
+                hit
             }
             FoOp::Eq(a, b) => match (a.resolve(regs), b.resolve(regs)) {
                 (Some(x), Some(y)) => x == y,
@@ -1007,19 +1190,27 @@ impl PreparedFo<'_> {
                     spec.candidates(&self.index, self.handles[spec.probe_id].as_ref(), regs)
                 else {
                     // An unbound outer register: no fact can match.
+                    self.flush_op(spec.probe_id, 0, 0);
                     return false;
                 };
                 let mut writes = Vec::new();
                 let mut found = false;
+                let mut scanned = 0u64;
+                let mut unified = 0u64;
                 for &fid in candidates.ids() {
                     regs.undo(&mut writes);
+                    scanned += 1;
                     let fact = self.index.fact(FactId::from_index(fid as usize));
-                    if spec.apply(fact, regs, &mut writes) && self.eval_op(body, regs) {
-                        found = true;
-                        break;
+                    if spec.apply(fact, regs, &mut writes) {
+                        unified += 1;
+                        if self.eval_op(body, regs) {
+                            found = true;
+                            break;
+                        }
                     }
                 }
                 regs.undo(&mut writes);
+                self.flush_op(spec.probe_id, scanned, unified);
                 found
             }
             FoOp::ForallBlock { spec, body } => {
@@ -1028,22 +1219,30 @@ impl PreparedFo<'_> {
                 else {
                     // An unbound outer register: the guard can never hold,
                     // so the implication is vacuously true.
+                    self.flush_op(spec.probe_id, 0, 0);
                     return true;
                 };
                 let mut writes = Vec::new();
                 let mut holds = true;
+                let mut scanned = 0u64;
+                let mut unified = 0u64;
                 for &fid in candidates.ids() {
                     regs.undo(&mut writes);
+                    scanned += 1;
                     let fact = self.index.fact(FactId::from_index(fid as usize));
                     // A candidate the guard does not unify with (repeated-
                     // variable mismatch) corresponds to no assignment:
                     // vacuous, skip.
-                    if spec.apply(fact, regs, &mut writes) && !self.eval_op(body, regs) {
-                        holds = false;
-                        break;
+                    if spec.apply(fact, regs, &mut writes) {
+                        unified += 1;
+                        if !self.eval_op(body, regs) {
+                            holds = false;
+                            break;
+                        }
                     }
                 }
                 regs.undo(&mut writes);
+                self.flush_op(spec.probe_id, scanned, unified);
                 holds
             }
             FoOp::ExistsColumn {
@@ -1056,7 +1255,9 @@ impl PreparedFo<'_> {
                     .as_ref()
                     .expect("column probes always resolve");
                 let mut found = false;
+                let mut scanned = 0u64;
                 for key in column.keys() {
+                    scanned += 1;
                     regs.set(*slot, key[0].clone());
                     if self.eval_op(body, regs) {
                         found = true;
@@ -1064,11 +1265,18 @@ impl PreparedFo<'_> {
                     }
                 }
                 regs.clear(*slot);
+                self.flush_op(*probe_id, scanned, u64::from(found));
                 found
             }
-            FoOp::ExistsDomain { slot, body } => {
+            FoOp::ExistsDomain {
+                slot,
+                trace_id,
+                body,
+            } => {
                 let mut found = false;
+                let mut scanned = 0u64;
                 for value in self.index.active_domain().iter() {
+                    scanned += 1;
                     regs.set(*slot, value.clone());
                     if self.eval_op(body, regs) {
                         found = true;
@@ -1076,11 +1284,18 @@ impl PreparedFo<'_> {
                     }
                 }
                 regs.clear(*slot);
+                self.flush_op(*trace_id, scanned, u64::from(found));
                 found
             }
-            FoOp::ForallDomain { slot, body } => {
+            FoOp::ForallDomain {
+                slot,
+                trace_id,
+                body,
+            } => {
                 let mut holds = true;
+                let mut scanned = 0u64;
                 for value in self.index.active_domain().iter() {
+                    scanned += 1;
                     regs.set(*slot, value.clone());
                     if !self.eval_op(body, regs) {
                         holds = false;
@@ -1088,6 +1303,7 @@ impl PreparedFo<'_> {
                     }
                 }
                 regs.clear(*slot);
+                self.flush_op(*trace_id, scanned, u64::from(holds));
                 holds
             }
         }

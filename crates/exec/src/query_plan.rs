@@ -17,11 +17,13 @@ use crate::probe::{ProbeSpec, Registers, Slot, SlotState};
 use cqa_data::{
     DatabaseIndex, FactId, PositionIndex, Schema, Statistics, UncertainDatabase, Value,
 };
+use cqa_obs::TraceSink;
 use cqa_query::{AtomId, ConjunctiveQuery, Valuation, Variable};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One join step: the atom it came from and its compiled access.
 pub(crate) struct Step {
@@ -159,6 +161,7 @@ impl QueryPlan {
             handles,
             mode,
             vec_steps,
+            trace: None,
         }
     }
 
@@ -192,33 +195,58 @@ impl QueryPlan {
         self.steps.is_empty()
     }
 
+    /// Number of trace cells a [`cqa_obs::TraceSink`] for this plan needs:
+    /// one per join step.
+    pub fn trace_ops(&self) -> usize {
+        self.steps.len()
+    }
+
     /// Renders the plan: one line per step with the access pattern (probed
     /// key components, `↦v` bindings, `=v` checks) and the cost-model
     /// estimate that ordered it.
     pub fn explain(&self) -> String {
+        self.render_with(None)
+    }
+
+    /// [`QueryPlan::explain`] plus the **actuals** a traced execution
+    /// recorded per step, and a header line with wall time and the
+    /// executor path taken.
+    pub fn explain_analyze(&self, trace: &TraceSink) -> String {
+        self.render_with(Some(trace))
+    }
+
+    fn render_with(&self, trace: Option<&TraceSink>) -> String {
         let mut out = String::new();
         if self.steps.is_empty() {
             out.push_str("  (empty query: always satisfied)\n");
             return out;
         }
-        let path = if (crate::vec::QUERY_VEC_CUTOFF..=crate::vec::QUERY_VEC_MAX)
-            .contains(&self.estimated_work)
-        {
+        let cutoff = crate::tuning::query_vec_cutoff();
+        let max = crate::tuning::query_vec_max();
+        let path = if (cutoff..=max).contains(&self.estimated_work) {
             "vectorized batch join"
         } else {
             "row-at-a-time backtracking"
         };
         let _ = writeln!(
             out,
-            "  exec: est work ≈ {:.0} vs auto window {:.0}..{:.0} → {path} for answers",
+            "  exec: est work ≈ {:.0} vs auto window {cutoff:.0}..{max:.0} → {path} for answers",
             self.estimated_work,
-            crate::vec::QUERY_VEC_CUTOFF,
-            crate::vec::QUERY_VEC_MAX,
         );
-        for (i, step) in self.steps.iter().enumerate() {
+        if let Some(sink) = trace {
             let _ = writeln!(
                 out,
-                "  {}. {:<40} est ≈ {:.1} rows  [atom {}]",
+                "  actual: {} vectorized + {} row run(s), wall {:.3} ms",
+                sink.vec_runs(),
+                sink.row_runs(),
+                sink.wall().as_secs_f64() * 1e3,
+            );
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let act = crate::fo_plan::trace_suffix(trace, Some(i));
+            let _ = writeln!(
+                out,
+                "  {}. {:<40} est ≈ {:.1} rows  [atom {}]{act}",
                 i + 1,
                 step.spec.render(&self.schema, &self.slots),
                 step.spec.estimated_rows,
@@ -255,6 +283,7 @@ pub struct PreparedQuery<'p> {
     pub(crate) handles: Vec<Option<Arc<PositionIndex>>>,
     pub(crate) mode: crate::vec::ExecMode,
     pub(crate) vec_steps: Vec<crate::vec::VProbe>,
+    pub(crate) trace: Option<Arc<TraceSink>>,
 }
 
 impl PreparedQuery<'_> {
@@ -277,6 +306,22 @@ impl PreparedQuery<'_> {
         self
     }
 
+    /// Installs a trace sink: every subsequent execution records its
+    /// per-step events into it (shareable across threads, so `cqa-par`
+    /// shards can report into one sink). Tracing never changes answers.
+    ///
+    /// # Panics
+    /// If the sink was not sized with [`QueryPlan::trace_ops`].
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        assert_eq!(
+            sink.op_count(),
+            self.plan.trace_ops(),
+            "trace sink sized for a different plan"
+        );
+        self.trace = Some(sink);
+        self
+    }
+
     /// The execution mode this prepared instance runs under.
     pub fn mode(&self) -> crate::vec::ExecMode {
         self.mode
@@ -292,69 +337,100 @@ impl PreparedQuery<'_> {
             crate::vec::ExecMode::Vectorized => true,
             crate::vec::ExecMode::Auto => {
                 let work = self.plan.estimated_work;
-                (crate::vec::QUERY_VEC_CUTOFF..=crate::vec::QUERY_VEC_MAX).contains(&work)
+                (crate::tuning::query_vec_cutoff()..=crate::tuning::query_vec_max()).contains(&work)
             }
         }
     }
 
+    /// Records path choice and wall time of one entry-point run into the
+    /// installed trace sink (a no-op without one).
+    fn entry_point<T>(&self, vectorized: bool, run: impl FnOnce() -> T) -> T {
+        let Some(sink) = &self.trace else {
+            return run();
+        };
+        if vectorized {
+            sink.count_vec_run();
+        } else {
+            sink.count_row_run();
+        }
+        let started = Instant::now();
+        let out = run();
+        sink.add_wall(started.elapsed());
+        out
+    }
+
     /// True iff some valuation satisfies the query on the snapshot.
     pub fn satisfies(&self) -> bool {
-        let mut regs = Registers::new(self.plan.slots.len());
-        self.run(&mut regs, &mut |_| true)
+        self.entry_point(false, || {
+            let mut regs = Registers::new(self.plan.slots.len());
+            self.run(&mut regs, &mut |_| true)
+        })
     }
 
     /// True iff some valuation *extending `base`* satisfies the query.
     /// Bindings of variables that do not occur in the query are ignored,
     /// exactly as in `cqa_query::eval::satisfies_with`.
     pub fn satisfies_with(&self, base: &Valuation) -> bool {
-        let mut regs = Registers::new(self.plan.slots.len());
-        for (slot, var) in self.plan.slots.iter().enumerate() {
-            if let Some(value) = base.get(var) {
-                regs.set(slot, value.clone());
+        self.entry_point(false, || {
+            let mut regs = Registers::new(self.plan.slots.len());
+            for (slot, var) in self.plan.slots.iter().enumerate() {
+                if let Some(value) = base.get(var) {
+                    regs.set(slot, value.clone());
+                }
             }
-        }
-        self.run(&mut regs, &mut |_| true)
+            self.run(&mut regs, &mut |_| true)
+        })
     }
 
     /// All satisfying valuations over `vars(q)`.
     pub fn all_valuations(&self) -> Vec<Valuation> {
-        let mut out = Vec::new();
-        let mut regs = Registers::new(self.plan.slots.len());
-        self.run(&mut regs, &mut |regs| {
-            out.push(Valuation::from_pairs(
-                self.plan
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(s, v)| regs.get(s).map(|value| (v.clone(), value.clone()))),
-            ));
-            false
-        });
-        out
+        self.entry_point(false, || {
+            let mut out = Vec::new();
+            let mut regs = Registers::new(self.plan.slots.len());
+            self.run(&mut regs, &mut |regs| {
+                out.push(Valuation::from_pairs(
+                    self.plan
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(s, v)| regs.get(s).map(|value| (v.clone(), value.clone()))),
+                ));
+                false
+            });
+            out
+        })
     }
 
     /// The answer tuples: projections of the satisfying valuations onto the
     /// query's free variables (the empty tuple for a satisfied Boolean
     /// query).
     pub fn answers(&self) -> BTreeSet<Vec<Value>> {
-        if self.use_vec() {
-            return crate::vec::query_answers(self, None);
+        let vectorized = self.use_vec();
+        if vectorized {
+            cqa_obs::count!("exec.query.answers.vec");
+        } else {
+            cqa_obs::count!("exec.query.answers.row");
         }
-        let mut out = BTreeSet::new();
-        let mut regs = Registers::new(self.plan.slots.len());
-        self.run(&mut regs, &mut |regs| {
-            let tuple: Option<Vec<Value>> = self
-                .plan
-                .free_slots
-                .iter()
-                .map(|&s| regs.get(s).cloned())
-                .collect();
-            if let Some(tuple) = tuple {
-                out.insert(tuple);
+        self.entry_point(vectorized, || {
+            if vectorized {
+                return crate::vec::query_answers(self, None);
             }
-            false
-        });
-        out
+            let mut out = BTreeSet::new();
+            let mut regs = Registers::new(self.plan.slots.len());
+            self.run(&mut regs, &mut |regs| {
+                let tuple: Option<Vec<Value>> = self
+                    .plan
+                    .free_slots
+                    .iter()
+                    .map(|&s| regs.get(s).cloned())
+                    .collect();
+                if let Some(tuple) = tuple {
+                    out.insert(tuple);
+                }
+                false
+            });
+            out
+        })
     }
 
     /// The width of the plan's **root candidate space**: the number of
@@ -379,8 +455,10 @@ impl PreparedQuery<'_> {
     /// over any partition of `0..root_width()` equals
     /// [`PreparedQuery::satisfies`]; out-of-range bounds are clamped.
     pub fn satisfies_shard(&self, shard: std::ops::Range<usize>) -> bool {
-        let mut regs = Registers::new(self.plan.slots.len());
-        self.run_shard(shard, &mut regs, &mut |_| true)
+        self.entry_point(false, || {
+            let mut regs = Registers::new(self.plan.slots.len());
+            self.run_shard(shard, &mut regs, &mut |_| true)
+        })
     }
 
     /// The answer tuples whose witnessing valuation's first-step candidate
@@ -389,24 +467,32 @@ impl PreparedQuery<'_> {
     /// ordered set, the recombined answer is byte-identical however the
     /// partition (or the thread interleaving) looked.
     pub fn answers_shard(&self, shard: std::ops::Range<usize>) -> BTreeSet<Vec<Value>> {
-        if self.use_vec() {
-            return crate::vec::query_answers(self, Some(shard));
+        let vectorized = self.use_vec();
+        if vectorized {
+            cqa_obs::count!("exec.query.answers.vec");
+        } else {
+            cqa_obs::count!("exec.query.answers.row");
         }
-        let mut out = BTreeSet::new();
-        let mut regs = Registers::new(self.plan.slots.len());
-        self.run_shard(shard, &mut regs, &mut |regs| {
-            let tuple: Option<Vec<Value>> = self
-                .plan
-                .free_slots
-                .iter()
-                .map(|&s| regs.get(s).cloned())
-                .collect();
-            if let Some(tuple) = tuple {
-                out.insert(tuple);
+        self.entry_point(vectorized, || {
+            if vectorized {
+                return crate::vec::query_answers(self, Some(shard.clone()));
             }
-            false
-        });
-        out
+            let mut out = BTreeSet::new();
+            let mut regs = Registers::new(self.plan.slots.len());
+            self.run_shard(shard, &mut regs, &mut |regs| {
+                let tuple: Option<Vec<Value>> = self
+                    .plan
+                    .free_slots
+                    .iter()
+                    .map(|&s| regs.get(s).cloned())
+                    .collect();
+                if let Some(tuple) = tuple {
+                    out.insert(tuple);
+                }
+                false
+            });
+            out
+        })
     }
 
     /// The fixed candidate list of the first step under empty registers.
@@ -441,20 +527,39 @@ impl PreparedQuery<'_> {
         let hi = shard.end.min(ids.len());
         let mut writes: Vec<Slot> = Vec::new();
         let mut found = false;
+        let mut scanned = 0u64;
+        let mut unified = 0u64;
         for &fid in &ids[lo..hi] {
             regs.undo(&mut writes);
+            scanned += 1;
             let fact = self.index.fact(FactId::from_index(fid as usize));
-            if step.spec.apply(fact, regs, &mut writes) && self.search(1, regs, on_match) {
-                found = true;
-                break;
+            if step.spec.apply(fact, regs, &mut writes) {
+                unified += 1;
+                if self.search(1, regs, on_match) {
+                    found = true;
+                    break;
+                }
             }
         }
         regs.undo(&mut writes);
+        self.flush_step(0, scanned, unified);
         found
     }
 
     fn run(&self, regs: &mut Registers, on_match: &mut dyn FnMut(&Registers) -> bool) -> bool {
         self.search(0, regs, on_match)
+    }
+
+    /// Flushes one step visit's locally-counted events to the trace sink
+    /// (the single `Option` branch a traceless run pays per visit).
+    #[inline]
+    fn flush_step(&self, depth: usize, scanned: u64, unified: u64) {
+        if let Some(sink) = &self.trace {
+            let cell = sink.op(depth);
+            cell.add_invocations(1);
+            cell.add_rows(scanned);
+            cell.add_matches(unified);
+        }
     }
 
     fn search(
@@ -472,19 +577,27 @@ impl PreparedQuery<'_> {
             // A key register is unbound: impossible by construction (probe
             // keys only use slots bound by earlier steps), kept as a safe
             // "no candidates" answer.
+            self.flush_step(depth, 0, 0);
             return false;
         };
         let mut writes: Vec<Slot> = Vec::new();
         let mut found = false;
+        let mut scanned = 0u64;
+        let mut unified = 0u64;
         for &fid in candidates.ids() {
             regs.undo(&mut writes);
+            scanned += 1;
             let fact = self.index.fact(FactId::from_index(fid as usize));
-            if spec.apply(fact, regs, &mut writes) && self.search(depth + 1, regs, on_match) {
-                found = true;
-                break;
+            if spec.apply(fact, regs, &mut writes) {
+                unified += 1;
+                if self.search(depth + 1, regs, on_match) {
+                    found = true;
+                    break;
+                }
             }
         }
         regs.undo(&mut writes);
+        self.flush_step(depth, scanned, unified);
         found
     }
 }

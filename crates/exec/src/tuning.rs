@@ -1,0 +1,159 @@
+//! Runtime tuning knobs, read from the environment **once** and validated
+//! loudly.
+//!
+//! Each knob defaults to its compile-time constant in [`crate::vec`] and
+//! can be overridden by an environment variable of the same name
+//! (`FO_VEC_CUTOFF`, `QUERY_VEC_CUTOFF`, `QUERY_VEC_MAX`,
+//! `TUPLE_BATCH_MIN`) or `CQA_EXEC_MODE` for the executor choice. A set
+//! but unparsable value used to be silently ignored; now it warns on
+//! stderr and is counted in the metrics registry under
+//! `config.env.invalid`, so a fleet-wide typo shows up in `certainty
+//! stats` instead of silently running on defaults.
+
+use crate::vec::ExecMode;
+use std::sync::OnceLock;
+
+/// Parses `raw` (as read from `name`) falling back to `default`; the
+/// second component reports whether a set value was invalid. Pure, so the
+/// warn-and-fall-back policy is unit-testable without touching the
+/// process environment.
+fn parse_value<T>(name: &str, raw: Option<&str>, default: T) -> (T, bool)
+where
+    T: std::str::FromStr + Copy + std::fmt::Display,
+{
+    match raw {
+        None => (default, false),
+        Some(text) => match text.trim().parse::<T>() {
+            Ok(value) => (value, false),
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring invalid {name}={text:?} (expected a number); \
+                     using default {default}"
+                );
+                (default, true)
+            }
+        },
+    }
+}
+
+/// Reads, parses and (on invalid values) warns + counts, once per knob.
+fn env_knob<T>(name: &'static str, default: T) -> T
+where
+    T: std::str::FromStr + Copy + std::fmt::Display,
+{
+    let raw = match std::env::var(name) {
+        Ok(text) => Some(text),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => Some(String::from("\u{FFFD}")),
+    };
+    let (value, invalid) = parse_value(name, raw.as_deref(), default);
+    if invalid {
+        cqa_obs::count!("config.env.invalid");
+    }
+    value
+}
+
+/// [`crate::vec::FO_VEC_CUTOFF`], overridable via `FO_VEC_CUTOFF`.
+pub fn fo_vec_cutoff() -> f64 {
+    static KNOB: OnceLock<f64> = OnceLock::new();
+    *KNOB.get_or_init(|| env_knob("FO_VEC_CUTOFF", crate::vec::FO_VEC_CUTOFF))
+}
+
+/// [`crate::vec::QUERY_VEC_CUTOFF`], overridable via `QUERY_VEC_CUTOFF`.
+pub fn query_vec_cutoff() -> f64 {
+    static KNOB: OnceLock<f64> = OnceLock::new();
+    *KNOB.get_or_init(|| env_knob("QUERY_VEC_CUTOFF", crate::vec::QUERY_VEC_CUTOFF))
+}
+
+/// [`crate::vec::QUERY_VEC_MAX`], overridable via `QUERY_VEC_MAX`.
+pub fn query_vec_max() -> f64 {
+    static KNOB: OnceLock<f64> = OnceLock::new();
+    *KNOB.get_or_init(|| env_knob("QUERY_VEC_MAX", crate::vec::QUERY_VEC_MAX))
+}
+
+/// [`crate::vec::TUPLE_BATCH_MIN`], overridable via `TUPLE_BATCH_MIN`.
+pub fn tuple_batch_min() -> usize {
+    static KNOB: OnceLock<usize> = OnceLock::new();
+    *KNOB.get_or_init(|| env_knob("TUPLE_BATCH_MIN", crate::vec::TUPLE_BATCH_MIN))
+}
+
+/// Parses a `CQA_EXEC_MODE` value; the second component reports whether a
+/// set value was invalid.
+fn parse_mode(raw: Option<&str>) -> (ExecMode, bool) {
+    match raw {
+        None => (ExecMode::Auto, false),
+        Some("row") | Some("row-at-a-time") => (ExecMode::RowAtATime, false),
+        Some("vec") | Some("vectorized") => (ExecMode::Vectorized, false),
+        Some("auto") => (ExecMode::Auto, false),
+        Some(other) => {
+            eprintln!(
+                "warning: ignoring invalid CQA_EXEC_MODE={other:?} \
+                 (expected row|row-at-a-time|vec|vectorized|auto); using auto"
+            );
+            (ExecMode::Auto, true)
+        }
+    }
+}
+
+/// The process-wide default [`ExecMode`]: `CQA_EXEC_MODE`, read once.
+pub fn exec_mode() -> ExecMode {
+    static KNOB: OnceLock<ExecMode> = OnceLock::new();
+    *KNOB.get_or_init(|| {
+        let raw = std::env::var("CQA_EXEC_MODE").ok();
+        let (mode, invalid) = parse_mode(raw.as_deref());
+        if invalid {
+            cqa_obs::count!("config.env.invalid");
+        }
+        mode
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_knobs_keep_their_defaults() {
+        assert_eq!(parse_value("K", None, 42.0), (42.0, false));
+        assert_eq!(parse_value("K", None, 7usize), (7, false));
+        assert_eq!(parse_mode(None), (ExecMode::Auto, false));
+    }
+
+    #[test]
+    fn valid_overrides_parse() {
+        assert_eq!(parse_value("K", Some("1024"), 42.0), (1024.0, false));
+        assert_eq!(parse_value("K", Some(" 16 "), 7usize), (16, false));
+        assert_eq!(parse_mode(Some("row")), (ExecMode::RowAtATime, false));
+        assert_eq!(
+            parse_mode(Some("row-at-a-time")),
+            (ExecMode::RowAtATime, false)
+        );
+        assert_eq!(parse_mode(Some("vec")), (ExecMode::Vectorized, false));
+        assert_eq!(
+            parse_mode(Some("vectorized")),
+            (ExecMode::Vectorized, false)
+        );
+        assert_eq!(parse_mode(Some("auto")), (ExecMode::Auto, false));
+    }
+
+    #[test]
+    fn invalid_overrides_fall_back_and_are_flagged() {
+        assert_eq!(parse_value("K", Some("fast"), 42.0), (42.0, true));
+        assert_eq!(parse_value("K", Some(""), 7usize), (7, true));
+        // The historical silent failure: `CQA_EXEC_MODE=Vec` (wrong case)
+        // used to quietly mean auto; it still means auto, loudly.
+        assert_eq!(parse_mode(Some("Vec")), (ExecMode::Auto, true));
+        assert_eq!(parse_mode(Some("rows")), (ExecMode::Auto, true));
+    }
+
+    #[test]
+    fn knob_accessors_answer_consistently() {
+        // Whatever the ambient environment, repeated reads are stable
+        // (parse-once) and the accessors do not panic.
+        assert_eq!(fo_vec_cutoff().to_bits(), fo_vec_cutoff().to_bits());
+        assert_eq!(query_vec_cutoff().to_bits(), query_vec_cutoff().to_bits());
+        assert!(query_vec_max() >= query_vec_cutoff() || query_vec_max() < query_vec_cutoff());
+        assert_eq!(tuple_batch_min(), tuple_batch_min());
+        assert_eq!(exec_mode(), exec_mode());
+    }
+}

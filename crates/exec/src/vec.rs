@@ -29,10 +29,11 @@ use crate::fo_plan::{FoOp, PreparedFo};
 use crate::probe::{KeySource, PosAction, ProbeSpec, Registers, Slot};
 use crate::query_plan::PreparedQuery;
 use cqa_data::{CodeIndex, Columnar, DatabaseIndex, RelationId, Value};
+use cqa_obs::OpTrace;
 use cqa_query::Variable;
 use std::collections::BTreeSet;
 use std::ops::Range;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// How a prepared plan chooses between the row-at-a-time and vectorized
 /// executors. The choice never affects results — the property suites assert
@@ -68,15 +69,12 @@ pub const TUPLE_BATCH_MIN: usize = 32;
 /// intermediates stay bounded.
 pub(crate) const ROOT_CHUNK: usize = 4096;
 
-/// The process-wide default mode: `CQA_EXEC_MODE=row|vec|auto` (read once).
-/// Prepared plans can override it per instance via `with_mode`.
+/// The process-wide default mode: `CQA_EXEC_MODE=row|vec|auto` (read once;
+/// an invalid value warns on stderr and counts as `config.env.invalid`, see
+/// [`crate::tuning`]). Prepared plans can override it per instance via
+/// `with_mode`.
 pub fn default_mode() -> ExecMode {
-    static MODE: OnceLock<ExecMode> = OnceLock::new();
-    *MODE.get_or_init(|| match std::env::var("CQA_EXEC_MODE").ok().as_deref() {
-        Some("row") | Some("row-at-a-time") => ExecMode::RowAtATime,
-        Some("vec") | Some("vectorized") => ExecMode::Vectorized,
-        _ => ExecMode::Auto,
-    })
+    crate::tuning::exec_mode()
 }
 
 /// Where one batch-side code comes from: a constant resolved against the
@@ -105,6 +103,9 @@ pub(crate) struct VProbe {
     pub(crate) key: Vec<VSrc>,
     pub(crate) handle: Option<Arc<CodeIndex>>,
     pub(crate) actions: Vec<VAct>,
+    /// Trace-cell id of the originating [`ProbeSpec`] (probe id / step
+    /// index), so batch kernels report into the same cell as the row path.
+    pub(crate) probe_id: usize,
 }
 
 impl VProbe {
@@ -162,6 +163,7 @@ impl VProbe {
             key,
             handle,
             actions,
+            probe_id: spec.probe_id,
         }
     }
 }
@@ -426,12 +428,15 @@ fn apply_row(
 /// candidate list is overridden by explicit relation rows (used for root
 /// sharding, where the candidate order must match the row engine's
 /// `PositionIndex` bucket); `sel` must then be the single unbound root row.
+/// With `trace: Some(cell)` the probe count, candidate rows examined and
+/// surviving pairs are recorded on that operator cell.
 fn expand(
     probe: &VProbe,
     parent: &Batch,
     sel: &[u32],
     columnar: &Columnar,
     root_rows: Option<&[u32]>,
+    trace: Option<&OpTrace>,
 ) -> Batch {
     debug_assert!(root_rows.is_none() || sel.len() <= 1);
     let columns = columnar.relation(probe.relation);
@@ -452,6 +457,7 @@ fn expand(
     let mut parents: Vec<u32> = Vec::new();
     let mut bind_cols: Vec<Vec<u32>> = vec![Vec::new(); bind_slots.len()];
     let mut scratch: Vec<(Slot, u32)> = Vec::new();
+    let mut scanned = 0u64;
     for &prow in sel {
         let candidates: &[u32] = if let Some(rows) = root_rows {
             rows
@@ -477,6 +483,7 @@ fn expand(
             scan_rows.as_deref().expect("scan rows materialized above")
         };
         for &frow in candidates {
+            scanned += 1;
             scratch.clear();
             if apply_row(probe, columns, frow, parent, prow, &mut scratch) {
                 parents.push(prow);
@@ -492,6 +499,11 @@ fn expand(
         }
     }
     let len = parents.len();
+    if let Some(cell) = trace {
+        cell.add_invocations(sel.len() as u64);
+        cell.add_rows(scanned);
+        cell.add_matches(len as u64);
+    }
     let mut cols: Vec<Option<Vec<u32>>> = vec![None; nslots];
     for &slot in &carry_slots {
         let src = parent.cols[slot].as_ref().expect("carry slots are bound");
@@ -552,6 +564,12 @@ struct VecCtx<'e, 'p> {
 }
 
 impl VecCtx<'_, '_> {
+    /// The trace cell of operator `id`, when a sink is installed.
+    #[inline]
+    fn trace_cell(&self, id: usize) -> Option<&OpTrace> {
+        self.prepared.trace.as_deref().map(|sink| sink.op(id))
+    }
+
     /// Evaluates `op` over the rows `sel` (ascending) of `batch`, returning
     /// the ascending subset of rows where the operator holds.
     fn eval(&self, op: &VOp<'_>, batch: &Batch, sel: Vec<u32>) -> Vec<u32> {
@@ -575,29 +593,54 @@ impl VecCtx<'_, '_> {
             VOp::Lookup(probe) => {
                 let columns = self.columnar.relation(probe.relation);
                 let mut scratch: Vec<(Slot, u32)> = Vec::new();
-                sel.into_iter()
-                    .filter(|&row| {
-                        let candidates: &[u32] = if let Some(handle) = &probe.handle {
-                            let mut packed = [0u32; 2];
-                            for (i, src) in probe.key.iter().enumerate() {
-                                match src_code(src, batch, row) {
-                                    Some(code) => packed[i] = code,
-                                    None => return false,
+                let probed = sel.len() as u64;
+                let mut scanned = 0u64;
+                let mut out: Vec<u32> = Vec::new();
+                for &row in &sel {
+                    let candidates: Option<&[u32]> = if let Some(handle) = &probe.handle {
+                        let mut packed = [0u32; 2];
+                        let mut miss = false;
+                        for (i, src) in probe.key.iter().enumerate() {
+                            match src_code(src, batch, row) {
+                                Some(code) => packed[i] = code,
+                                None => {
+                                    miss = true;
+                                    break;
                                 }
                             }
-                            handle.candidates(CodeIndex::pack(&packed[..probe.key.len()]))
+                        }
+                        if miss {
+                            None
                         } else {
-                            return (0..columns.row_count() as u32).any(|frow| {
-                                scratch.clear();
-                                apply_row(probe, columns, frow, batch, row, &mut scratch)
-                            });
-                        };
-                        candidates.iter().any(|&frow| {
+                            Some(handle.candidates(CodeIndex::pack(&packed[..probe.key.len()])))
+                        }
+                    } else {
+                        // Full scan: probe the whole relation row range.
+                        Some(&[])
+                    };
+                    let hit = match (candidates, &probe.handle) {
+                        (None, _) => false,
+                        (Some(c), Some(_)) => c.iter().any(|&frow| {
+                            scanned += 1;
                             scratch.clear();
                             apply_row(probe, columns, frow, batch, row, &mut scratch)
-                        })
-                    })
-                    .collect()
+                        }),
+                        (Some(_), None) => (0..columns.row_count() as u32).any(|frow| {
+                            scanned += 1;
+                            scratch.clear();
+                            apply_row(probe, columns, frow, batch, row, &mut scratch)
+                        }),
+                    };
+                    if hit {
+                        out.push(row);
+                    }
+                }
+                if let Some(cell) = self.trace_cell(probe.probe_id) {
+                    cell.add_invocations(probed);
+                    cell.add_rows(scanned);
+                    cell.add_matches(out.len() as u64);
+                }
+                out
             }
             VOp::Not(inner) => {
                 let survived = self.eval(inner, batch, sel.clone());
@@ -638,6 +681,11 @@ impl VecCtx<'_, '_> {
             VOp::Fallback(op) => {
                 // Row fallback: materialize the bound columns as register
                 // values and run the row interpreter per surviving row.
+                if let Some(cell) =
+                    crate::fo_plan::fo_op_trace_id(op).and_then(|id| self.trace_cell(id))
+                {
+                    cell.add_fallback_rows(sel.len() as u64);
+                }
                 let dict = self.columnar.dictionary();
                 let nslots = batch.cols.len();
                 let bound: Vec<Slot> = (0..nslots).filter(|&s| batch.cols[s].is_some()).collect();
@@ -681,6 +729,9 @@ impl VecCtx<'_, '_> {
     ) -> Vec<u32> {
         let columns = self.columnar.relation(probe.relation);
         let nslots = parent.cols.len();
+        let trace = self.trace_cell(probe.probe_id);
+        let mut scanned = 0u64;
+        let mut matched = 0u64;
         let scan_rows: Option<Vec<u32>> = match &probe.handle {
             None => Some((0..columns.row_count() as u32).collect()),
             Some(_) => None,
@@ -770,6 +821,7 @@ impl VecCtx<'_, '_> {
                     }
                     continue;
                 }
+                scanned += 1;
                 scratch.clear();
                 if apply_row(probe, columns, cands[k], parent, prow, &mut scratch) {
                     wave_members.push(m);
@@ -797,6 +849,7 @@ impl VecCtx<'_, '_> {
                 }
             }
             if wave_batch.len > 0 {
+                matched += wave_batch.len as u64;
                 let wave_sel: Vec<u32> = (0..wave_batch.len as u32).collect();
                 let survived = self.eval(body, &wave_batch, wave_sel);
                 let mut si = 0;
@@ -822,6 +875,12 @@ impl VecCtx<'_, '_> {
             next_undecided.sort_unstable();
             std::mem::swap(&mut undecided, &mut next_undecided);
             k += 1;
+        }
+        if let Some(cell) = trace {
+            cell.add_invocations(sel.len() as u64);
+            cell.add_rows(scanned);
+            cell.add_matches(matched);
+            cell.add_waves(k as u64);
         }
         decided_true.sort_unstable();
         decided_true
@@ -889,7 +948,14 @@ pub(crate) fn eval_root_shard(prepared: &PreparedFo<'_>, shard: Range<usize>) ->
     let parent = Batch::unbound(prepared.plan.slots.len());
     for chunk in ids[lo..hi].chunks(ROOT_CHUNK) {
         let rows = rows_of_fids(&prepared.index, probe.relation, chunk);
-        let batch = expand(probe, &parent, &[0], ctx.columnar, Some(&rows));
+        let batch = expand(
+            probe,
+            &parent,
+            &[0],
+            ctx.columnar,
+            Some(&rows),
+            ctx.trace_cell(probe.probe_id),
+        );
         if batch.len == 0 {
             continue;
         }
@@ -994,16 +1060,24 @@ pub(crate) fn query_answers(
     }
     let columnar = prepared.index.columnar();
     let dict = columnar.dictionary();
+    let trace_cell = |i: usize| prepared.trace.as_deref().map(|sink| sink.op(i));
     let parent = Batch::unbound(plan.slots.len());
     for chunk in ids[lo..hi].chunks(ROOT_CHUNK) {
         let rows = rows_of_fids(&prepared.index, step.spec.relation, chunk);
-        let mut batch = expand(&prepared.vec_steps[0], &parent, &[0], columnar, Some(&rows));
-        for probe in &prepared.vec_steps[1..] {
+        let mut batch = expand(
+            &prepared.vec_steps[0],
+            &parent,
+            &[0],
+            columnar,
+            Some(&rows),
+            trace_cell(0),
+        );
+        for (i, probe) in prepared.vec_steps[1..].iter().enumerate() {
             if batch.len == 0 {
                 break;
             }
             let sel: Vec<u32> = (0..batch.len as u32).collect();
-            batch = expand(probe, &batch, &sel, columnar, None);
+            batch = expand(probe, &batch, &sel, columnar, None, trace_cell(i + 1));
         }
         if batch.len == 0 {
             continue;

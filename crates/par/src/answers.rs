@@ -44,9 +44,11 @@ pub fn certain_answers_par(
     let plan = shared_plan_cache().plan(query, Some(snapshot.index().statistics()));
     let estimated = possible.len() as f64 * plan.estimated_work().max(1.0);
     if pool.thread_count() == 1 || possible.len() < 2 || estimated < config.sequential_cutoff {
+        cqa_obs::count!("par.cutoff.sequential");
         let certain = engine.certain_of(db, &possible)?;
         return Ok(AnswerSets { certain, possible });
     }
+    cqa_obs::count!("par.cutoff.parallel");
 
     // Compile the open rewriting once on this thread so the workers all hit
     // the cached plan instead of racing to build it.

@@ -132,7 +132,20 @@ impl BatchEngine {
 }
 
 /// Answers one query against the snapshot, memoizing classified engines.
+/// Each call records its wall time into the `par.batch.query_nanos`
+/// histogram (the source of the serving layer's p50/p99).
 fn answer_one(
+    snapshot: &Snapshot,
+    engines: &Mutex<FxHashMap<String, Arc<CertaintyEngine>>>,
+    query: &ConjunctiveQuery,
+) -> BatchOutcome {
+    let started = std::time::Instant::now();
+    let outcome = answer_one_inner(snapshot, engines, query);
+    cqa_obs::observe_duration!("par.batch.query_nanos", started.elapsed());
+    outcome
+}
+
+fn answer_one_inner(
     snapshot: &Snapshot,
     engines: &Mutex<FxHashMap<String, Arc<CertaintyEngine>>>,
     query: &ConjunctiveQuery,
@@ -150,6 +163,11 @@ fn answer_one(
         .unwrap_or_else(PoisonError::into_inner)
         .get(&key)
         .cloned();
+    if cached.is_some() {
+        cqa_obs::count!("par.batch.engine.hit");
+    } else {
+        cqa_obs::count!("par.batch.engine.miss");
+    }
     let engine = match cached {
         Some(engine) => engine,
         None => match CertaintyEngine::new(query) {

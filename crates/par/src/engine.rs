@@ -72,6 +72,7 @@ impl ParallelEngine {
             plan.prepare(snapshot.index()).root_shard_width()
         });
         let Some(width) = width else {
+            cqa_obs::count!("par.cutoff.sequential");
             return self.engine.is_certain(db);
         };
         let chunks = chunk_ranges(
@@ -79,8 +80,10 @@ impl ParallelEngine {
             self.pool.thread_count() * self.config.chunks_per_thread,
         );
         if chunks.len() <= 1 {
+            cqa_obs::count!("par.cutoff.sequential");
             return self.engine.is_certain(db);
         }
+        cqa_obs::count!("par.cutoff.parallel");
         let engine = self.engine.clone();
         let snapshot = snapshot.clone();
         par_any(&self.pool, chunks, move |range| {
@@ -104,6 +107,7 @@ impl ParallelEngine {
             plan.prepare(snapshot.index()).root_width()
         };
         let Some(width) = width else {
+            cqa_obs::count!("par.cutoff.sequential");
             return self.engine.is_possible(db);
         };
         let chunks = chunk_ranges(
@@ -111,8 +115,10 @@ impl ParallelEngine {
             self.pool.thread_count() * self.config.chunks_per_thread,
         );
         if chunks.len() <= 1 {
+            cqa_obs::count!("par.cutoff.sequential");
             return self.engine.is_possible(db);
         }
+        cqa_obs::count!("par.cutoff.parallel");
         let engine = self.engine.clone();
         let snapshot = snapshot.clone();
         par_any(&self.pool, chunks, move |range| {

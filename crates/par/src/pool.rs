@@ -43,7 +43,22 @@ impl ParPool {
         self.pool.thread_count()
     }
 
+    /// Number of jobs stolen so far: claimed by a worker from another
+    /// worker's deque (monotone, eventually consistent).
+    pub fn steals(&self) -> usize {
+        self.pool.steals()
+    }
+
+    /// Publishes the pool's state into the global metrics registry: the
+    /// `par.pool.threads` and `par.pool.steals` gauges. Call before taking a
+    /// snapshot (gauges are sampled, not streamed).
+    pub fn record_metrics(&self) {
+        cqa_obs::gauge_set!("par.pool.threads", self.thread_count() as i64);
+        cqa_obs::gauge_set!("par.pool.steals", self.steals() as i64);
+    }
+
     pub(crate) fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        cqa_obs::count!("par.tasks");
         self.pool.execute(job);
     }
 }
@@ -76,7 +91,10 @@ where
         let f = f.clone();
         let tx = tx.clone();
         pool.execute(move || {
-            let _ = tx.send((i, f(i, item)));
+            let started = std::time::Instant::now();
+            let result = f(i, item);
+            cqa_obs::observe_duration!("par.chunk_nanos", started.elapsed());
+            let _ = tx.send((i, result));
         });
     }
     drop(tx);

@@ -8,6 +8,8 @@
 //! This crate simply re-exports the public API of the workspace crates so a
 //! downstream user can depend on a single crate:
 //!
+//! * [`obs`] — process-wide metrics (counters, gauges, latency histograms)
+//!   and the per-operator trace sink behind `explain --analyze`;
 //! * [`data`] — uncertain databases, blocks, repairs;
 //! * [`query`] — Boolean conjunctive queries, join trees, purification;
 //! * [`graph`] — the directed-graph algorithms used by the solvers;
@@ -31,6 +33,7 @@ pub use cqa_data as data;
 pub use cqa_exec as exec;
 pub use cqa_gen as gen;
 pub use cqa_graph as graph;
+pub use cqa_obs as obs;
 pub use cqa_par as par;
 pub use cqa_parser as parser;
 pub use cqa_prob as prob;
@@ -46,6 +49,7 @@ pub mod prelude {
     };
     pub use cqa_data::{Fact, Schema, Snapshot, UncertainDatabase, Value};
     pub use cqa_exec::{FoPlan, PlanCache, QueryPlan};
+    pub use cqa_obs::{Registry, Snapshot as MetricsSnapshot, TraceSink};
     pub use cqa_par::{certain_answers_par, BatchEngine, ParConfig, ParPool, ParallelEngine};
     pub use cqa_query::{Atom, ConjunctiveQuery, Term, Variable};
 }

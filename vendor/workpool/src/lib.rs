@@ -58,6 +58,8 @@ struct Shared {
     shutdown: AtomicBool,
     /// Round-robin cursor for job placement.
     next: AtomicUsize,
+    /// Number of jobs claimed from a deque other than the claimer's own.
+    steals: AtomicUsize,
 }
 
 impl Shared {
@@ -80,6 +82,9 @@ impl Shared {
                 }
             };
             if job.is_some() {
+                if offset != 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
                 return job;
             }
         }
@@ -116,6 +121,7 @@ impl ThreadPool {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -138,6 +144,13 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn thread_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of jobs that were **stolen** so far: claimed by a worker from
+    /// another worker's deque. A monotone, eventually consistent counter —
+    /// a steal by a still-running worker may not be visible immediately.
+    pub fn steals(&self) -> usize {
+        self.shared.steals.load(Ordering::Relaxed)
     }
 
     /// Submits a job. Jobs are distributed round-robin over the worker
