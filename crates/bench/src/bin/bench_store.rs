@@ -1,0 +1,189 @@
+//! Persistent-store and delta-maintenance benchmarks, recorded in
+//! `BENCH_store.json` at the workspace root.
+//!
+//! Two stories are measured on the acceptance workload (the 3-atom chain
+//! `path3` at n = 2200, ~13k facts):
+//!
+//! * **save / load throughput** — encoding an [`cqa_data::UncertainDatabase`]
+//!   into the chunked dictionary-coded store format and decoding it back,
+//!   reported in facts/s and MB/s, with the round-tripped database asserted
+//!   to answer identically before anything is timed;
+//! * **delta apply vs rebuild** — the latency of refreshing the cached
+//!   [`cqa_data::DatabaseIndex`] after a single-fact insert, once via the
+//!   delta-patching path (the default) and once with the delta threshold
+//!   forced to 0 so every refresh is a from-scratch rebuild. The patched
+//!   and rebuilt databases receive the same mutation sequence and are
+//!   asserted to produce identical certain answers.
+//!
+//! Run with `cargo run --release -p cqa-bench --bin bench_store`
+//! (`--quick` shrinks the instance for CI smoke runs).
+
+use cqa_bench::{json_escape, ms, quick_flag, scaled_instance, time_min, write_bench_json};
+use cqa_core::answers::certain_answers;
+use cqa_core::solvers::{CertaintyEngine, CertaintySolver};
+use cqa_data::{store, Fact, PositionSet, UncertainDatabase};
+use cqa_query::{catalog, ConjunctiveQuery, Variable};
+
+/// A probe fact for relation `R` whose values are borrowed from an existing
+/// `T` fact: both values already occur in the active domain, so inserting or
+/// removing the probe is the steady-state single-fact delta — block lists
+/// and indexes change, the dictionary does not. (The generator namespaces
+/// tokens per relation, so the borrowed pair cannot collide with a real `R`
+/// fact — asserted on first insert.)
+fn probe_fact(db: &UncertainDatabase) -> Fact {
+    let schema = db.schema();
+    let r = schema.relation_id("R").expect("path3 has R");
+    let t = schema.relation_id("T").expect("path3 has T");
+    let donor = db
+        .index()
+        .relation_facts(t)
+        .next()
+        .expect("the generated instance has T facts")
+        .clone();
+    Fact::new(r, donor.values().to_vec())
+}
+
+/// One timed "mutate + refresh" step: toggle the probe fact (insert it if
+/// absent, remove it if present), then refresh the index — patched in place
+/// on the delta path, rebuilt from scratch with the threshold forced to 0 —
+/// and materialize every derived structure query evaluation touches
+/// (statistics, columnar view, active domain, key-position hash indexes).
+/// Materializing is what makes the two arms comparable: the delta path hands
+/// these over already patched, while a rebuild defers them to first use and
+/// must pay for them here.
+fn mutate_and_refresh(db: &mut UncertainDatabase, probe: &Fact, present: &mut bool) {
+    if *present {
+        assert!(db.remove_fact(probe), "the probe fact was present");
+    } else {
+        assert!(
+            db.insert(probe.clone())
+                .expect("probe facts are well-formed"),
+            "the probe fact must not collide with the generated instance"
+        );
+    }
+    *present = !*present;
+    refresh(db);
+}
+
+/// Refreshes the cached index and materializes the derived structures.
+fn refresh(db: &UncertainDatabase) {
+    let index = db.index();
+    let _ = index.statistics();
+    let _ = index.columnar();
+    let _ = index.active_domain();
+    for rel in db.schema().relation_ids() {
+        let key_len = db.schema().relation(rel).key_len();
+        let _ = index.position_index(rel, PositionSet::from_positions(0..key_len));
+    }
+}
+
+fn main() {
+    let quick = quick_flag();
+    let runs = if quick { 3 } else { 10 };
+    let n = if quick { 150 } else { 2200 };
+    let boolean = catalog::fo_path3().query;
+    let db = scaled_instance(&boolean, n, 11);
+    let query = ConjunctiveQuery::with_free_vars(
+        boolean.schema().clone(),
+        boolean.atoms().to_vec(),
+        vec![Variable::new("x")],
+    )
+    .expect("freeing a variable of a valid query stays valid");
+    eprintln!(
+        "workload path3: {} facts, {} blocks (quick: {quick})",
+        db.fact_count(),
+        db.block_count()
+    );
+
+    // -- save / load: correctness first, then throughput.
+    let bytes = store::save_to_vec(&db);
+    let loaded = store::load_from_slice(&bytes).expect("a fresh save loads");
+    let engine = CertaintyEngine::new(&boolean).expect("path3 classifies");
+    assert_eq!(
+        engine.is_certain(&db),
+        engine.is_certain(&loaded),
+        "round-tripped certainty verdict diverged"
+    );
+    let reference = certain_answers(&query, &db).expect("path3 is answerable");
+    assert_eq!(
+        reference,
+        certain_answers(&query, &loaded).expect("answerable"),
+        "round-tripped certain answers diverged"
+    );
+    assert_eq!(bytes, store::save_to_vec(&loaded), "save ∘ load not stable");
+    let save_time = time_min(runs, || store::save_to_vec(&db));
+    let load_time = time_min(runs, || store::load_from_slice(&bytes).expect("loads"));
+    let mb = bytes.len() as f64 / (1024.0 * 1024.0);
+    let save_mbps = mb / save_time.as_secs_f64().max(1e-9);
+    let load_mbps = mb / load_time.as_secs_f64().max(1e-9);
+    let save_fps = db.fact_count() as f64 / save_time.as_secs_f64().max(1e-9);
+    let load_fps = db.fact_count() as f64 / load_time.as_secs_f64().max(1e-9);
+    eprintln!(
+        "  save: {:9.3} ms ({:8.1} MB/s, {:10.0} facts/s), {} bytes",
+        ms(save_time),
+        save_mbps,
+        save_fps,
+        bytes.len()
+    );
+    eprintln!(
+        "  load: {:9.3} ms ({:8.1} MB/s, {:10.0} facts/s)",
+        ms(load_time),
+        load_mbps,
+        load_fps
+    );
+
+    // -- delta apply vs rebuild: same single-fact mutation sequence, two
+    //    refresh policies. Warm both caches before timing so the first
+    //    timed refresh starts from a cached snapshot either way.
+    let probe = probe_fact(&db);
+    let mut patched = db.clone();
+    refresh(&patched);
+    let mut patched_present = false;
+    let delta_time = time_min(runs, || {
+        mutate_and_refresh(&mut patched, &probe, &mut patched_present)
+    });
+    let mut rebuilt = db.clone();
+    rebuilt.set_delta_threshold(Some(0));
+    refresh(&rebuilt);
+    let mut rebuilt_present = false;
+    let rebuild_time = time_min(runs, || {
+        mutate_and_refresh(&mut rebuilt, &probe, &mut rebuilt_present)
+    });
+    // Bring both databases to the same probe state, then the
+    // delta-maintained index must answer exactly like the rebuilt one.
+    if patched_present != rebuilt_present {
+        mutate_and_refresh(&mut patched, &probe, &mut patched_present);
+    }
+    assert_eq!(patched.fact_count(), rebuilt.fact_count());
+    assert_eq!(
+        certain_answers(&query, &patched).expect("answerable"),
+        certain_answers(&query, &rebuilt).expect("answerable"),
+        "delta-patched index diverged from rebuild"
+    );
+    let speedup = rebuild_time.as_secs_f64() / delta_time.as_secs_f64().max(1e-9);
+    eprintln!(
+        "  single-fact refresh: delta {:9.3} ms vs rebuild {:9.3} ms ({speedup:.1}x)",
+        ms(delta_time),
+        ms(rebuild_time)
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"columnar store save/load + delta-apply vs index rebuild\",\n  \"generated_by\": \"cargo run --release -p cqa-bench --bin bench_store\",\n  \"quick\": {quick},\n  \"workload\": {{\n    \"name\": \"path3\",\n    \"query\": \"{}\",\n    \"facts\": {},\n    \"blocks\": {},\n    \"file_bytes\": {}\n  }},\n  \"save\": {{ \"ms\": {:.3}, \"mb_per_s\": {:.1}, \"facts_per_s\": {:.0} }},\n  \"load\": {{ \"ms\": {:.3}, \"mb_per_s\": {:.1}, \"facts_per_s\": {:.0}, \"round_trip_identical\": true }},\n  \"single_fact_refresh\": {{\n    \"delta_apply_ms\": {:.4},\n    \"rebuild_ms\": {:.4},\n    \"speedup\": {:.1},\n    \"identical_answers\": true\n  }}\n}}\n",
+        json_escape(&query.to_string()),
+        db.fact_count(),
+        db.block_count(),
+        bytes.len(),
+        ms(save_time),
+        save_mbps,
+        save_fps,
+        ms(load_time),
+        load_mbps,
+        load_fps,
+        ms(delta_time),
+        ms(rebuild_time),
+        speedup,
+    );
+    let out = write_bench_json("BENCH_store.json", &json);
+    eprintln!("wrote {}", out.display());
+    print!("{json}");
+}

@@ -12,7 +12,16 @@
 //! certainty attack-graph <file.cqa> [--dot]  print the attack graph (optionally as DOT)
 //! certainty serve <file.cqa> [--threads=N]   answer newline-delimited stdin queries concurrently
 //! certainty stats <file.cqa>                 answer the document's queries, then dump all metrics
+//! certainty save <file.cqa> <out.cqdb>       persist the database in the columnar store format
+//! certainty ingest <file.csv> <out.cqdb> --relation=R [--key-prefix=K]
+//!                                            ingest CSV rows as facts of one relation, then persist
 //! ```
+//!
+//! Every document command also accepts `--db=<path.cqdb>`: the facts come
+//! from a previously saved columnar store (see `certainty save` /
+//! `certainty ingest`) instead of the document's fact lines, while the
+//! document still provides the relation declarations (which must match the
+//! store's manifest) and the queries.
 //!
 //! `explain --analyze` additionally **runs** each plan with a per-operator
 //! trace sink installed and prints the actual row/probe/wave counts next to
@@ -45,7 +54,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn usage() -> &'static str {
-    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph|serve|stats> <file> [--sql] [--dot] [--analyze] [--query=NAME] [--threads=N]"
+    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph|serve|stats|save|ingest> <file> [out.cqdb] [--sql] [--dot] [--analyze] [--query=NAME] [--threads=N] [--db=PATH] [--relation=NAME] [--key-prefix=K]"
 }
 
 fn load(path: &str) -> Result<Document, String> {
@@ -129,10 +138,14 @@ fn serve_stats_line(engine: &BatchEngine, served: usize, started: Instant) -> St
     };
     format!(
         "stats: {served} served, {qps:.1} qps, p50 {p50:.3} ms, p99 {p99:.3} ms, \
-         plan-cache {}, engine-cache {}, steals {}",
+         plan-cache {}, engine-cache {}, steals {}, epoch {}, \
+         index deltas {} applied / {} rebuilt",
         rate("exec.plan_cache"),
         rate("par.batch.engine"),
-        engine.pool().steals()
+        engine.pool().steals(),
+        engine.epoch(),
+        snapshot.counter("data.index.delta_applied"),
+        snapshot.counter("data.index.delta_fallback_rebuild"),
     )
 }
 
@@ -142,6 +155,9 @@ fn run() -> Result<(), String> {
         args.iter().partition(|a| a.starts_with("--"));
     let mut query_filter: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut db_path: Option<String> = None;
+    let mut relation: Option<String> = None;
+    let mut key_prefix: usize = 1;
     let mut flag_names: Vec<String> = Vec::new();
     for flag in flags {
         match flag.split_once('=') {
@@ -153,15 +169,59 @@ fn run() -> Result<(), String> {
                         .map_err(|_| format!("--threads expects a number, got `{value}`"))?,
                 )
             }
+            Some(("--db", value)) => db_path = Some(value.to_string()),
+            Some(("--relation", value)) => relation = Some(value.to_string()),
+            Some(("--key-prefix", value)) => {
+                key_prefix = value
+                    .parse()
+                    .map_err(|_| format!("--key-prefix expects a number, got `{value}`"))?
+            }
             Some((name, _)) => flag_names.push(name.to_string()),
             None => flag_names.push(flag.clone()),
         }
     }
-    let [command, path] = positional.as_slice() else {
-        return Err(usage().to_string());
+    let (command, path, out) = match positional.as_slice() {
+        [command, path] => (command.as_str(), path.as_str(), None),
+        [command, path, out] => (command.as_str(), path.as_str(), Some(out.as_str())),
+        _ => return Err(usage().to_string()),
     };
-    let doc = load(path)?;
-    if doc.queries.is_empty() && !matches!(command.as_str(), "repairs" | "serve") {
+    if command == "ingest" {
+        let out = out
+            .ok_or("ingest needs an output path: certainty ingest <file.csv> <out.cqdb> --relation=NAME [--key-prefix=K]")?;
+        let relation = relation.ok_or("ingest needs --relation=NAME")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let db = cqa_parser::csv::database_from_csv(&text, &relation, key_prefix)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let summary = cqa_data::store::save(&db, out).map_err(|e| format!("{out}: {e}"))?;
+        let rel = db.schema().require(&relation).map_err(|e| e.to_string())?;
+        println!(
+            "ingested {} facts in {} blocks into {relation}({} columns, key prefix {key_prefix})",
+            db.fact_count(),
+            db.block_count(),
+            db.schema().relation(rel).arity(),
+        );
+        println!("saved {out}: {summary}");
+        return Ok(());
+    }
+    let mut doc = load(path)?;
+    if let Some(db_path) = &db_path {
+        let loaded = cqa_data::store::load(db_path).map_err(|e| format!("{db_path}: {e}"))?;
+        let compatible = doc.schema.len() == loaded.schema().len()
+            && doc
+                .schema
+                .iter()
+                .zip(loaded.schema().iter())
+                .all(|((_, a), (_, b))| a.name == b.name && a.signature == b.signature);
+        if !compatible {
+            return Err(format!(
+                "--db {db_path}: the stored schema manifest does not match the document's \
+                 relation declarations"
+            ));
+        }
+        doc.database = loaded;
+    }
+    let doc = doc;
+    if doc.queries.is_empty() && !matches!(command, "repairs" | "serve" | "save") {
         return Err("the document declares no `certain ... :- ...` query".to_string());
     }
     let selected: Vec<&(String, cqa_query::ConjunctiveQuery)> = doc
@@ -171,7 +231,14 @@ fn run() -> Result<(), String> {
         .collect();
     let has_flag = |name: &str| flag_names.iter().any(|f| f == name);
 
-    match command.as_str() {
+    match command {
+        "save" => {
+            let out =
+                out.ok_or("save needs an output path: certainty save <file.cqa> <out.cqdb>")?;
+            let summary =
+                cqa_data::store::save(&doc.database, out).map_err(|e| format!("{out}: {e}"))?;
+            println!("saved {out}: {summary}");
+        }
         "classify" => {
             for (name, query) in &selected {
                 let c = classify(query).map_err(|e| e.to_string())?;
@@ -375,6 +442,13 @@ fn run() -> Result<(), String> {
                 }
             }
             println!();
+            println!(
+                "database: {} facts, epoch {}, {} pending delta(s), threshold {}",
+                doc.database.fact_count(),
+                doc.database.epoch(),
+                doc.database.pending_delta_len(),
+                doc.database.delta_threshold(),
+            );
             println!("metrics after answering {} query(ies):", selected.len());
             print!("{}", cqa_obs::Registry::global().snapshot().render());
         }

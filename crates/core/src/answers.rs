@@ -13,10 +13,10 @@
 use crate::fo::{certain_rewriting_open, FoFormula};
 use crate::solvers::{CertaintyEngine, CertaintySolver};
 use cqa_data::{UncertainDatabase, Value};
-use cqa_exec::{ExecMode, FoPlan, PlanCache};
+use cqa_exec::{ExecMode, FoPlan, PlanCache, StatsStamp};
 use cqa_query::{substitute, ConjunctiveQuery, QueryError, Variable};
 use std::collections::BTreeSet;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 /// Process-wide memo of compiled satisfaction plans: repeated
 /// [`certain_answers`] calls for the same `(schema, query)` — a CLI loop, a
@@ -81,12 +81,18 @@ pub struct CertainAnswersEngine {
     mode: ExecMode,
 }
 
-/// The open rewriting `φ(x̄)` and its lazily compiled plan (statistics of the
-/// first database seen pick the guard atoms, mirroring
-/// [`crate::solvers::RewritingSolver`]).
+/// The open rewriting `φ(x̄)` and its lazily compiled plan, stamped with the
+/// statistics it was compiled against (statistics of the first database seen
+/// pick the guard atoms, mirroring [`crate::solvers::RewritingSolver`]).
+///
+/// Databases now keep their index snapshots warm across mutations (delta
+/// maintenance), so a long-lived engine can see the data grow far past its
+/// compile-time cardinalities; when the stamp has
+/// [drifted](StatsStamp::drifted_from) the plan is recompiled against the
+/// current statistics (counted as `core.answers.plan_stale`).
 struct OpenRewriting {
     formula: FoFormula,
-    plan: OnceLock<FoPlan>,
+    plan: RwLock<Option<(Arc<FoPlan>, StatsStamp)>>,
 }
 
 impl CertainAnswersEngine {
@@ -101,7 +107,7 @@ impl CertainAnswersEngine {
             .ok()
             .map(|formula| OpenRewriting {
                 formula,
-                plan: OnceLock::new(),
+                plan: RwLock::new(None),
             });
         Ok(CertainAnswersEngine {
             query: query.clone(),
@@ -131,14 +137,37 @@ impl CertainAnswersEngine {
     }
 
     /// The compiled plan of the open rewriting, compiled on first use with
-    /// `db`'s statistics.
-    pub fn open_plan(&self, db: &UncertainDatabase) -> Option<&FoPlan> {
-        self.open.as_ref().map(|open| {
-            open.plan.get_or_init(|| {
-                let index = db.index();
-                FoPlan::compile(&open.formula, self.query.schema(), Some(index.statistics()))
-            })
-        })
+    /// `db`'s statistics — and recompiled when those statistics have
+    /// drifted beyond [`cqa_exec::cache::DRIFT_FACTOR`] since compile time.
+    pub fn open_plan(&self, db: &UncertainDatabase) -> Option<Arc<FoPlan>> {
+        let open = self.open.as_ref()?;
+        let index = db.index();
+        let stats = index.statistics();
+        {
+            let cached = open.plan.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some((plan, stamp)) = cached.as_ref() {
+                if !stamp.drifted_from(Some(stats)) {
+                    return Some(plan.clone());
+                }
+            }
+        }
+        let had_plan = {
+            let cached = open.plan.read().unwrap_or_else(PoisonError::into_inner);
+            cached.is_some()
+        };
+        if had_plan {
+            cqa_obs::count!("core.answers.plan_stale");
+        }
+        // Compile outside the lock; racing recompiles are both compiled
+        // against current statistics, so last-writer-wins is fine.
+        let plan = Arc::new(FoPlan::compile(
+            &open.formula,
+            self.query.schema(),
+            Some(stats),
+        ));
+        let stamp = StatsStamp::of(Some(stats));
+        *open.plan.write().unwrap_or_else(PoisonError::into_inner) = Some((plan.clone(), stamp));
+        Some(plan)
     }
 
     /// Decides certainty of each candidate tuple: `out[i]` ⇔ the Boolean

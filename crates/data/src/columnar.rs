@@ -74,6 +74,18 @@ pub struct RelationColumns {
 }
 
 impl RelationColumns {
+    /// Assembles the columns of one relation from raw parts (the delta
+    /// patcher's constructor; `build` is the bulk path).
+    pub(crate) fn from_columns(columns: Vec<Vec<u32>>, rows: usize) -> Self {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        RelationColumns { columns, rows }
+    }
+
+    /// All code columns, in position order (for whole-relation remapping).
+    pub(crate) fn columns(&self) -> &[Vec<u32>] {
+        &self.columns
+    }
+
     /// The code column at one attribute position.
     pub fn column(&self, position: usize) -> &[u32] {
         &self.columns[position]
@@ -87,9 +99,13 @@ impl RelationColumns {
 
 /// The columnar view of a whole snapshot: the dictionary plus one
 /// [`RelationColumns`] per relation.
+///
+/// Per-relation columns sit behind an `Arc` so that
+/// [`crate::DatabaseIndex::apply_delta`] can carry the columns of untouched
+/// relations into the next snapshot in O(1) instead of copying them.
 pub struct Columnar {
     dictionary: Dictionary,
-    relations: Vec<RelationColumns>,
+    relations: Vec<Arc<RelationColumns>>,
 }
 
 impl Columnar {
@@ -110,14 +126,23 @@ impl Columnar {
                         columns[pos].push(code);
                     }
                 }
-                RelationColumns {
+                Arc::new(RelationColumns {
                     columns,
                     rows: fact_ids.len(),
-                }
+                })
             })
             .collect();
         Columnar {
             dictionary,
+            relations,
+        }
+    }
+
+    /// Assembles a columnar view from a dictionary value array and per-relation
+    /// columns (the delta patcher's constructor).
+    pub(crate) fn from_parts(values: Arc<[Value]>, relations: Vec<Arc<RelationColumns>>) -> Self {
+        Columnar {
+            dictionary: Dictionary::new(values),
             relations,
         }
     }
@@ -130,6 +155,17 @@ impl Columnar {
     /// The code columns of one relation.
     pub fn relation(&self, relation: RelationId) -> &RelationColumns {
         &self.relations[relation.index()]
+    }
+
+    /// Shared handle to the code columns of one relation (O(1) carry-over of
+    /// untouched relations across snapshots).
+    pub(crate) fn relation_arc(&self, relation: RelationId) -> Arc<RelationColumns> {
+        self.relations[relation.index()].clone()
+    }
+
+    /// The dictionary's value array (shared with the active domain).
+    pub(crate) fn dictionary_values(&self) -> &Arc<[Value]> {
+        &self.dictionary.values
     }
 }
 

@@ -1,10 +1,21 @@
 //! Uncertain databases and their block structure.
 
+use crate::delta::{delta_threshold, ChangeSet, Delta};
 use crate::index::DatabaseIndex;
 use crate::{Block, BlockId, DataError, Fact, FxHashMap, RelationId, RepairIter, Schema, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, PoisonError, RwLock};
+
+/// The cached index snapshot plus the mutations recorded since it was built.
+///
+/// Invariant: `pending` is non-empty only while `snapshot` is `Some` — with
+/// no snapshot to patch there is nothing to log against.
+#[derive(Default)]
+struct IndexCacheState {
+    snapshot: Option<Arc<DatabaseIndex>>,
+    pending: ChangeSet,
+}
 
 /// An **uncertain database**: a finite set of facts over a fixed schema in
 /// which primary keys need not be satisfied (Section 3 of the paper).
@@ -36,30 +47,42 @@ pub struct UncertainDatabase {
     /// Maps (relation, key) to the dense index of the owning block.
     index: FxHashMap<(RelationId, Vec<Value>), usize>,
     fact_count: usize,
-    /// Cached secondary-index snapshot; rebuilt lazily after mutations.
+    /// Cached secondary-index snapshot plus the pending delta log; the
+    /// snapshot is patched (not rebuilt) while the log stays small.
     ///
     /// An `RwLock` rather than a `Mutex`: concurrent readers of a warm cache
     /// never contend, and every access recovers from poisoning (the cached
-    /// value is an `Option<Arc>` — always consistent — so a reader that
-    /// panicked while holding the lock must not wedge later calls).
-    index_cache: RwLock<Option<Arc<DatabaseIndex>>>,
+    /// state is always consistent, so a reader that panicked while holding
+    /// the lock must not wedge later calls).
+    index_cache: RwLock<IndexCacheState>,
+    /// Bumped on every effective mutation; see [`UncertainDatabase::epoch`].
+    epoch: u64,
+    /// Per-database override of the delta-volume fallback threshold.
+    delta_threshold: Option<usize>,
 }
 
 impl Clone for UncertainDatabase {
     fn clone(&self) -> Self {
         // The clone has identical contents, so it can share the cached
-        // snapshot; each copy's own mutations invalidate only its own cache.
-        let cached = self
+        // snapshot and its pending delta log; each copy's own mutations
+        // from here on touch only its own cache state.
+        let state = self
             .index_cache
             .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
+            .unwrap_or_else(PoisonError::into_inner);
+        let cached = IndexCacheState {
+            snapshot: state.snapshot.clone(),
+            pending: state.pending.clone(),
+        };
+        drop(state);
         UncertainDatabase {
             schema: self.schema.clone(),
             blocks: self.blocks.clone(),
             index: self.index.clone(),
             fact_count: self.fact_count,
             index_cache: RwLock::new(cached),
+            epoch: self.epoch,
+            delta_threshold: self.delta_threshold,
         }
     }
 }
@@ -72,38 +95,121 @@ impl UncertainDatabase {
             blocks: Vec::new(),
             index: FxHashMap::default(),
             fact_count: 0,
-            index_cache: RwLock::new(None),
+            index_cache: RwLock::new(IndexCacheState::default()),
+            epoch: 0,
+            delta_threshold: None,
         }
     }
 
     /// The secondary-index snapshot of the current contents (see
-    /// [`DatabaseIndex`]), built on first use and cached until the next
-    /// mutation.
+    /// [`DatabaseIndex`]).
+    ///
+    /// Built on first use and cached. Small mutations do not discard the
+    /// cache: they are logged as a [`crate::ChangeSet`] and the next call
+    /// **patches** the previous snapshot via [`DatabaseIndex::apply_delta`]
+    /// (counted as `data.index.delta_applied`). Only past the
+    /// [delta-volume threshold](UncertainDatabase::set_delta_threshold) does
+    /// the cache fall back to a full rebuild.
     pub fn index(&self) -> Arc<DatabaseIndex> {
-        if let Some(snapshot) = &*self
-            .index_cache
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
         {
-            cqa_obs::count!("data.index.cache.hit");
-            return snapshot.clone();
+            let state = self
+                .index_cache
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(snapshot) = &state.snapshot {
+                if state.pending.is_empty() {
+                    cqa_obs::count!("data.index.cache.hit");
+                    return snapshot.clone();
+                }
+            }
         }
-        cqa_obs::count!("data.index.cache.miss");
-        // Build outside any lock; concurrent builders race harmlessly (the
-        // first write wins and later builds produce an identical snapshot).
-        let started = std::time::Instant::now();
-        let snapshot = Arc::new(DatabaseIndex::build(self));
-        cqa_obs::observe_duration!("data.index.build_nanos", started.elapsed());
-        let mut cache = self
+        let mut state = self
             .index_cache
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        match &*cache {
-            Some(existing) => existing.clone(),
-            None => {
-                *cache = Some(snapshot.clone());
-                snapshot
+        // Re-check under the write lock: another thread may have patched or
+        // built the snapshot while this one waited.
+        if let Some(snapshot) = &state.snapshot {
+            if state.pending.is_empty() {
+                cqa_obs::count!("data.index.cache.hit");
+                return snapshot.clone();
             }
+            // Patch the previous snapshot with the pending delta log. The
+            // threshold is enforced at record time, so a non-empty log here
+            // is always within budget.
+            cqa_obs::count!("data.index.delta_applied");
+            let started = std::time::Instant::now();
+            let patched = Arc::new(snapshot.apply_delta(self, &state.pending));
+            cqa_obs::observe_duration!("data.index.delta_apply_nanos", started.elapsed());
+            state.snapshot = Some(patched.clone());
+            state.pending.clear();
+            return patched;
+        }
+        cqa_obs::count!("data.index.cache.miss");
+        let started = std::time::Instant::now();
+        let snapshot = Arc::new(DatabaseIndex::build(self));
+        cqa_obs::observe_duration!("data.index.build_nanos", started.elapsed());
+        state.snapshot = Some(snapshot.clone());
+        state.pending.clear();
+        snapshot
+    }
+
+    /// The mutation epoch: a counter bumped by every *effective* mutation
+    /// (no-ops — duplicate inserts, removals of absent facts — leave it
+    /// untouched). Two equal epochs of the same database lineage (the
+    /// original and its clones/snapshots) denote identical contents, so
+    /// readers holding a [`crate::Snapshot`] can detect staleness with one
+    /// integer compare instead of a diff.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Overrides the delta-volume threshold beyond which mutations drop the
+    /// cached index (forcing a full rebuild) instead of growing the delta
+    /// log. `None` restores the process default
+    /// ([`crate::delta::delta_threshold`], env-tunable via
+    /// `CQA_DELTA_THRESHOLD`). A threshold of `0` disables patching
+    /// entirely — every mutation invalidates, the pre-delta behavior.
+    pub fn set_delta_threshold(&mut self, threshold: Option<usize>) {
+        self.delta_threshold = threshold;
+    }
+
+    /// The effective delta-volume threshold of this database.
+    pub fn delta_threshold(&self) -> usize {
+        self.delta_threshold.unwrap_or_else(delta_threshold)
+    }
+
+    /// Number of mutations logged against the cached index snapshot (zero
+    /// when the cache is cold, current, or was dropped past the threshold).
+    pub fn pending_delta_len(&self) -> usize {
+        self.index_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pending
+            .len()
+    }
+
+    /// Logs one effective mutation: bumps the epoch and, when a cached
+    /// snapshot exists, either appends to its delta log or — past the
+    /// threshold — drops the cache so the next [`UncertainDatabase::index`]
+    /// call rebuilds from scratch.
+    fn record(&mut self, delta: Delta) {
+        self.epoch += 1;
+        let threshold = self.delta_threshold();
+        let state = self
+            .index_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        if state.snapshot.is_none() {
+            debug_assert!(state.pending.is_empty());
+            return;
+        }
+        state.pending.record(delta);
+        if state.pending.len() > threshold {
+            state.snapshot = None;
+            state.pending.clear();
+            cqa_obs::count!("data.index.invalidated");
+            cqa_obs::count!("data.index.delta_fallback_rebuild");
         }
     }
 
@@ -113,17 +219,6 @@ impl UncertainDatabase {
     /// database keeps mutating.
     pub fn snapshot(&self) -> crate::Snapshot {
         crate::Snapshot::new(self)
-    }
-
-    /// Drops the cached index snapshot; called by every mutating method.
-    fn invalidate_index(&mut self) {
-        let cache = self
-            .index_cache
-            .get_mut()
-            .unwrap_or_else(PoisonError::into_inner);
-        if cache.take().is_some() {
-            cqa_obs::count!("data.index.invalidated");
-        }
     }
 
     /// Builds a database from an iterator of facts.
@@ -166,11 +261,16 @@ impl UncertainDatabase {
                 i
             }
         };
+        // Clone before pushing (an `Arc` bump) so the delta log shares the
+        // stored fact's allocation — `apply_delta` matches facts by it.
+        let recorded = fact.clone();
         let inserted = self.blocks[block_idx].push(fact);
         if inserted {
             self.fact_count += 1;
-            self.invalidate_index();
+            self.record(Delta::Inserted(recorded));
         }
+        // Re-inserting a present fact is a pure no-op: the cached index
+        // stays warm and the epoch does not move.
         Ok(inserted)
     }
 
@@ -329,23 +429,39 @@ impl UncertainDatabase {
             return false;
         };
         if !self.blocks[idx].remove(fact) {
+            // The key exists but the fact does not: a no-op that leaves the
+            // cached index, the delta log and the epoch untouched.
             return false;
         }
         self.fact_count -= 1;
-        self.invalidate_index();
-        if self.blocks[idx].is_empty() {
-            self.remove_empty_block_at(idx);
+        let emptied = self.blocks[idx].is_empty();
+        if emptied {
+            self.detach_block_at(idx);
         }
+        self.record(Delta::Removed {
+            fact: fact.clone(),
+            emptied_block: emptied,
+        });
         true
     }
 
     fn remove_block_at(&mut self, idx: usize) {
-        self.fact_count -= self.blocks[idx].len();
-        self.invalidate_index();
-        self.remove_empty_block_at(idx);
+        let doomed: Vec<Fact> = self.blocks[idx].facts().to_vec();
+        self.fact_count -= doomed.len();
+        self.detach_block_at(idx);
+        for fact in doomed {
+            self.record(Delta::Removed {
+                fact,
+                emptied_block: true,
+            });
+        }
     }
 
-    fn remove_empty_block_at(&mut self, idx: usize) {
+    /// Detaches the block at `idx` from the block list and the key index by
+    /// `swap_remove` (the block that was last takes over slot `idx`, so
+    /// block ids are **reordered**). Fact counting and delta recording are
+    /// the caller's job.
+    fn detach_block_at(&mut self, idx: usize) {
         let removed = self.blocks.swap_remove(idx);
         self.index
             .remove(&(removed.relation(), removed.key().to_vec()));
@@ -475,6 +591,26 @@ mod tests {
         let n = db.fact_count();
         assert!(!db.insert_values("R", ["KDD", "B"]).unwrap());
         assert_eq!(db.fact_count(), n);
+    }
+
+    #[test]
+    fn no_op_mutations_keep_the_cached_index_and_epoch() {
+        let mut db = figure1();
+        let warm = db.index();
+        let epoch = db.epoch();
+        let r = db.schema().relation_id("R").unwrap();
+        // Re-inserting a present fact.
+        assert!(!db.insert_values("R", ["KDD", "B"]).unwrap());
+        // Removing an absent fact (existing block, absent alternative).
+        assert!(!db.remove_fact(&Fact::new(r, vec![Value::str("KDD"), Value::str("C")])));
+        // Removing an absent fact of an absent block.
+        assert!(!db.remove_fact(&Fact::new(r, vec![Value::str("ICDT"), Value::str("A")])));
+        // Removing the block of a fact whose key has no block.
+        assert!(!db.remove_block_of(&Fact::new(r, vec![Value::str("ICDT"), Value::str("A")])));
+        // None of the above dirtied the cache or moved the epoch.
+        assert!(Arc::ptr_eq(&warm, &db.index()));
+        assert_eq!(db.epoch(), epoch);
+        assert_eq!(db.pending_delta_len(), 0);
     }
 
     #[test]

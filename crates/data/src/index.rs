@@ -18,12 +18,17 @@
 //! * the sorted active domain is computed once and cached for the
 //!   quantifier loops of the first-order model checker.
 //!
-//! The snapshot is cached on the database ([`UncertainDatabase::index`]) and
-//! invalidated by any mutation, so repeated evaluations against the same
-//! database pay the build cost once.
+//! The snapshot is cached on the database ([`UncertainDatabase::index`]).
+//! Mutations no longer throw it away: they are logged as a
+//! [`crate::ChangeSet`] and the next [`UncertainDatabase::index`] call
+//! **patches** the previous snapshot via [`DatabaseIndex::apply_delta`] —
+//! fact lists, block lists, hash buckets, statistics, active domain and the
+//! columnar view are all maintained incrementally, falling back to a full
+//! rebuild only past a configurable delta-volume threshold.
 
-use crate::columnar::{build_code_index, CodeIndex, Columnar};
-use crate::{Block, BlockId, Fact, FxHashMap, FxHashSet, RelationId, UncertainDatabase, Value};
+use crate::columnar::{build_code_index, CodeIndex, Columnar, RelationColumns};
+use crate::delta::ChangeSet;
+use crate::{Block, BlockId, Fact, FxHashMap, RelationId, UncertainDatabase, Value};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
@@ -197,6 +202,12 @@ pub struct RelationStatistics {
     fact_count: usize,
     block_count: usize,
     distinct: Vec<usize>,
+    /// Per position, how often each distinct value occurs — the refcounts
+    /// that let [`DatabaseIndex::apply_delta`] maintain `distinct` exactly
+    /// under inserts *and* removals. Invariant: `distinct[p] == counts[p].len()`.
+    /// Shared copy-on-write so cloning the statistics of an untouched
+    /// relation during a delta patch is one reference-count bump.
+    counts: Arc<Vec<FxHashMap<Value, u32>>>,
 }
 
 impl RelationStatistics {
@@ -252,15 +263,36 @@ pub struct DatabaseIndex {
     by_relation: Vec<Vec<u32>>,
     blocks_by_relation: Vec<Vec<u32>>,
     arities: Vec<usize>,
-    active_domain: OnceLock<Arc<[Value]>>,
+    active_domain: OnceLock<DomainInfo>,
     statistics: OnceLock<Statistics>,
     position_indexes: Mutex<FxHashMap<(RelationId, u64), Arc<PositionIndex>>>,
     columnar: OnceLock<Columnar>,
     code_indexes: Mutex<FxHashMap<(RelationId, u64), Arc<CodeIndex>>>,
 }
 
-impl DatabaseIndex {
-    pub(crate) fn build(db: &UncertainDatabase) -> Self {
+/// The cached active domain: sorted distinct values plus, per value, its
+/// number of occurrences across all fact positions — the refcounts that let
+/// [`DatabaseIndex::apply_delta`] decide exactly when an insert extends or a
+/// removal shrinks the domain.
+struct DomainInfo {
+    values: Arc<[Value]>,
+    counts: Vec<u32>,
+}
+
+/// The base arrays of a [`DatabaseIndex`]: everything derived from a single
+/// ordered walk of the database's blocks. Shared by [`DatabaseIndex::build`]
+/// and [`DatabaseIndex::apply_delta`] so both produce *identical* fact-id
+/// assignments by construction.
+struct IndexBase {
+    facts: Vec<Fact>,
+    fact_blocks: Vec<u32>,
+    by_relation: Vec<Vec<u32>>,
+    blocks_by_relation: Vec<Vec<u32>>,
+    arities: Vec<usize>,
+}
+
+impl IndexBase {
+    fn build(db: &UncertainDatabase) -> Self {
         let relations = db.schema().len();
         let mut facts = Vec::with_capacity(db.fact_count());
         let mut fact_blocks = Vec::with_capacity(db.fact_count());
@@ -275,12 +307,25 @@ impl DatabaseIndex {
                 fact_blocks.push(block_id.0);
             }
         }
-        DatabaseIndex {
+        IndexBase {
             facts,
             fact_blocks,
             by_relation,
             blocks_by_relation,
             arities: db.schema().iter().map(|(_, r)| r.arity()).collect(),
+        }
+    }
+}
+
+impl DatabaseIndex {
+    pub(crate) fn build(db: &UncertainDatabase) -> Self {
+        let base = IndexBase::build(db);
+        DatabaseIndex {
+            facts: base.facts,
+            fact_blocks: base.fact_blocks,
+            by_relation: base.by_relation,
+            blocks_by_relation: base.blocks_by_relation,
+            arities: base.arities,
             active_domain: OnceLock::new(),
             statistics: OnceLock::new(),
             position_indexes: Mutex::new(FxHashMap::default()),
@@ -347,16 +392,16 @@ impl DatabaseIndex {
 
     /// The sorted, deduplicated active domain, computed once per snapshot.
     pub fn active_domain(&self) -> &[Value] {
-        self.active_domain_shared_ref()
+        &self.domain_info().values
     }
 
     /// The active domain as a shared handle (the allocation backing both
     /// [`DatabaseIndex::active_domain`] and the columnar dictionary).
     pub fn active_domain_shared(&self) -> Arc<[Value]> {
-        self.active_domain_shared_ref().clone()
+        self.domain_info().values.clone()
     }
 
-    fn active_domain_shared_ref(&self) -> &Arc<[Value]> {
+    fn domain_info(&self) -> &DomainInfo {
         self.active_domain.get_or_init(|| {
             cqa_obs::count!("data.active_domain.build");
             let mut dom: Vec<Value> = self
@@ -365,8 +410,21 @@ impl DatabaseIndex {
                 .flat_map(|f| f.values().iter().cloned())
                 .collect();
             dom.sort();
-            dom.dedup();
-            dom.into()
+            // Run-length encode: distinct sorted values + occurrence counts.
+            let mut values = Vec::new();
+            let mut counts = Vec::new();
+            for value in dom {
+                if values.last() == Some(&value) {
+                    *counts.last_mut().expect("counts tracks values") += 1;
+                } else {
+                    values.push(value);
+                    counts.push(1);
+                }
+            }
+            DomainInfo {
+                values: values.into(),
+                counts,
+            }
         })
     }
 
@@ -385,17 +443,18 @@ impl DatabaseIndex {
                 .enumerate()
                 .map(|(rel, fact_ids)| {
                     let arity = self.arities[rel];
-                    let mut seen: Vec<FxHashSet<&Value>> = vec![FxHashSet::default(); arity];
+                    let mut seen: Vec<FxHashMap<Value, u32>> = vec![FxHashMap::default(); arity];
                     for &fid in fact_ids {
                         let fact = &self.facts[fid as usize];
                         for (pos, value) in fact.values().iter().enumerate() {
-                            seen[pos].insert(value);
+                            *seen[pos].entry(value.clone()).or_insert(0) += 1;
                         }
                     }
                     RelationStatistics {
                         fact_count: fact_ids.len(),
                         block_count: self.blocks_by_relation[rel].len(),
-                        distinct: seen.into_iter().map(|s| s.len()).collect(),
+                        distinct: seen.iter().map(FxHashMap::len).collect(),
+                        counts: Arc::new(seen),
                     }
                 })
                 .collect();
@@ -488,6 +547,459 @@ impl DatabaseIndex {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         cache.entry(key).or_insert(built).clone()
+    }
+
+    /// Builds the snapshot of `db` by **patching** this snapshot with the
+    /// recorded `changes` instead of recomputing everything from scratch.
+    ///
+    /// `db` must be the database this snapshot was built from, after exactly
+    /// the mutations recorded in `changes` (this is the invariant
+    /// [`UncertainDatabase::index`] maintains). The result is
+    /// indistinguishable from a full rebuild: the base arrays are rebuilt
+    /// from the same ordered block walk (so fact ids are identical by
+    /// construction), and every *cached* derived structure — active domain,
+    /// statistics, position hash indexes, columnar view, code indexes — is
+    /// carried over patched, so the work already invested in the old
+    /// snapshot survives small mutations.
+    ///
+    /// Facts are matched across snapshots by **allocation identity**: a
+    /// stored fact's `values` allocation is shared between the database, the
+    /// old snapshot and the delta log, so pointer equality identifies
+    /// surviving facts without hashing a single value. (Facts are non-empty
+    /// — arities are ≥ 1 by schema validation — and the old snapshot keeps
+    /// its allocations alive for the duration of the patch, so pointers are
+    /// unambiguous.)
+    pub fn apply_delta(&self, db: &UncertainDatabase, changes: &ChangeSet) -> DatabaseIndex {
+        /// Sentinel for "no counterpart in the other snapshot".
+        const GONE: u32 = u32::MAX;
+
+        let base = IndexBase::build(db);
+
+        // ---- old→new fact-id mapping -----------------------------------
+        // `mapping[old]` is the new id of a surviving fact (GONE for removed
+        // ones); `inserted_ids[slot]` is the new id of `changes.inserted()[slot]`
+        // (GONE when the slot aliases a surviving fact, i.e. the very same
+        // allocation was removed and re-inserted — then the mapping already
+        // covers it and the insert must not be double-counted in id space).
+        let mut mapping = vec![GONE; self.facts.len()];
+        let mut inserted_ids = vec![GONE; changes.inserted().len()];
+        if !changes.any_block_removed() {
+            // Fast path: no block disappeared, so old block ids are still
+            // valid and each old block's fact ids form one contiguous range
+            // (the build walk assigns them in block order). Match by a ptr
+            // scan inside that tiny range — zero hashing.
+            let old_blocks = self
+                .fact_blocks
+                .iter()
+                .map(|&b| b as usize + 1)
+                .max()
+                .unwrap_or(0);
+            let mut starts = vec![0u32; old_blocks + 1];
+            for &b in &self.fact_blocks {
+                starts[b as usize + 1] += 1;
+            }
+            for i in 0..old_blocks {
+                starts[i + 1] += starts[i];
+            }
+            for (new_id, fact) in base.facts.iter().enumerate() {
+                let bi = base.fact_blocks[new_id] as usize;
+                let range = if bi < old_blocks {
+                    starts[bi] as usize..starts[bi + 1] as usize
+                } else {
+                    0..0 // a block created after the snapshot
+                };
+                let old = range.clone().find(|&old| {
+                    std::ptr::eq(self.facts[old].values().as_ptr(), fact.values().as_ptr())
+                });
+                match old {
+                    Some(old) => mapping[old] = new_id as u32,
+                    None => {
+                        let slot = changes
+                            .inserted()
+                            .iter()
+                            .position(|f| std::ptr::eq(f.values().as_ptr(), fact.values().as_ptr()))
+                            .expect(
+                                "every fact absent from the old snapshot was recorded \
+                                 as inserted",
+                            );
+                        inserted_ids[slot] = new_id as u32;
+                    }
+                }
+            }
+        } else {
+            // General path: block removal reordered block ids (`swap_remove`),
+            // so old ranges are meaningless — match through one cheap
+            // pointer-keyed hash map over the new facts.
+            let by_ptr: FxHashMap<usize, u32> = base
+                .facts
+                .iter()
+                .enumerate()
+                .map(|(id, f)| (f.values().as_ptr() as usize, id as u32))
+                .collect();
+            for (old, fact) in self.facts.iter().enumerate() {
+                if let Some(&new_id) = by_ptr.get(&(fact.values().as_ptr() as usize)) {
+                    mapping[old] = new_id;
+                }
+            }
+            for (slot, fact) in changes.inserted().iter().enumerate() {
+                if let Some(&new_id) = by_ptr.get(&(fact.values().as_ptr() as usize)) {
+                    inserted_ids[slot] = new_id;
+                }
+            }
+        }
+
+        // Inverse mapping (new id → old id), also used to cancel aliased
+        // re-inserts: a slot whose new id is already claimed by a surviving
+        // old fact is the same allocation removed and re-inserted.
+        let mut old_of_new = vec![GONE; base.facts.len()];
+        for (old, &new_id) in mapping.iter().enumerate() {
+            if new_id != GONE {
+                old_of_new[new_id as usize] = old as u32;
+            }
+        }
+        for id in inserted_ids.iter_mut() {
+            if *id != GONE && old_of_new[*id as usize] != GONE {
+                *id = GONE;
+            }
+        }
+
+        // Which relations gained or lost facts (their stats/columns/indexes
+        // need patching; everything else is carried over verbatim).
+        let mut touched = vec![false; self.arities.len()];
+        for fact in changes.inserted().iter().chain(changes.removed()) {
+            touched[fact.relation().index()] = true;
+        }
+
+        // Whether every surviving fact kept its id. Only then can an
+        // untouched relation's fact-id buckets be carried over verbatim: a
+        // removal, or an insert into a block that is not last in the walk,
+        // shifts the ids of every fact after it — across all relations.
+        let ids_stable = mapping.iter().enumerate().all(|(i, &m)| m == i as u32);
+
+        // ---- active domain ---------------------------------------------
+        // Patched via the cached occurrence counts: an insert extends the
+        // domain only on a count 0→1 transition, a removal shrinks it only
+        // on 1→0. `code_remap` translates old dictionary codes to new ones
+        // (None = the value array is unchanged, codes are stable).
+        let mut code_remap: Option<Vec<u32>> = None;
+        let domain_patch: Option<DomainInfo> = self.active_domain.get().map(|info| {
+            let old_values = &info.values;
+            let mut counts = info.counts.clone();
+            let mut added: Vec<&Value> = Vec::new();
+            for fact in changes.inserted() {
+                for value in fact.values() {
+                    match old_values.binary_search(value) {
+                        Ok(i) => counts[i] += 1,
+                        Err(_) => added.push(value),
+                    }
+                }
+            }
+            for fact in changes.removed() {
+                for value in fact.values() {
+                    let i = old_values.binary_search(value).expect(
+                        "removed facts come from the snapshot, so their values are \
+                         in the cached domain",
+                    );
+                    counts[i] -= 1;
+                }
+            }
+            if added.is_empty() && counts.iter().all(|&c| c > 0) {
+                // Same value set: share the allocation (and so the
+                // dictionary identity) with the old snapshot.
+                return DomainInfo {
+                    values: old_values.clone(),
+                    counts,
+                };
+            }
+            // The value set changed: merge surviving old values with the
+            // (sorted, run-length-counted) additions. Added values are by
+            // construction absent from the old array, so the merge never
+            // sees an equal pair.
+            added.sort();
+            let mut values = Vec::with_capacity(old_values.len() + added.len());
+            let mut new_counts = Vec::with_capacity(old_values.len() + added.len());
+            let mut remap = vec![GONE; old_values.len()];
+            let mut ai = 0;
+            let push_added_below = |limit: Option<&Value>,
+                                    ai: &mut usize,
+                                    values: &mut Vec<Value>,
+                                    new_counts: &mut Vec<u32>| {
+                while *ai < added.len() && limit.is_none_or(|v| added[*ai] < v) {
+                    let run = *ai;
+                    while *ai < added.len() && added[*ai] == added[run] {
+                        *ai += 1;
+                    }
+                    values.push(added[run].clone());
+                    new_counts.push((*ai - run) as u32);
+                }
+            };
+            for (i, value) in old_values.iter().enumerate() {
+                push_added_below(Some(value), &mut ai, &mut values, &mut new_counts);
+                if counts[i] > 0 {
+                    remap[i] = values.len() as u32;
+                    values.push(value.clone());
+                    new_counts.push(counts[i]);
+                }
+            }
+            push_added_below(None, &mut ai, &mut values, &mut new_counts);
+            code_remap = Some(remap);
+            DomainInfo {
+                values: values.into(),
+                counts: new_counts,
+            }
+        });
+
+        // ---- statistics -------------------------------------------------
+        // Exact maintenance via the per-position occurrence counts; touched
+        // relations take their fact/block cardinalities from the new base.
+        let statistics_patch: Option<Statistics> = self.statistics.get().map(|stats| {
+            let mut relations = stats.relations.clone();
+            for fact in changes.inserted() {
+                let rel = &mut relations[fact.relation().index()];
+                let counts = Arc::make_mut(&mut rel.counts);
+                for (pos, value) in fact.values().iter().enumerate() {
+                    let count = counts[pos].entry(value.clone()).or_insert(0);
+                    *count += 1;
+                    if *count == 1 {
+                        rel.distinct[pos] += 1;
+                    }
+                }
+            }
+            for fact in changes.removed() {
+                let rel = &mut relations[fact.relation().index()];
+                let counts = Arc::make_mut(&mut rel.counts);
+                for (pos, value) in fact.values().iter().enumerate() {
+                    let count = counts[pos]
+                        .get_mut(value)
+                        .expect("removed facts were counted in the snapshot statistics");
+                    *count -= 1;
+                    if *count == 0 {
+                        counts[pos].remove(value);
+                        rel.distinct[pos] -= 1;
+                    }
+                }
+            }
+            for (rel, relation_stats) in relations.iter_mut().enumerate() {
+                if touched[rel] {
+                    relation_stats.fact_count = base.by_relation[rel].len();
+                    relation_stats.block_count = base.blocks_by_relation[rel].len();
+                }
+            }
+            Statistics { relations }
+        });
+
+        // ---- position hash indexes --------------------------------------
+        // Every cached index is carried over: surviving ids are remapped in
+        // place (`HashMap::clone` copies the table without rehashing keys),
+        // inserted facts are hashed into their buckets. Buckets stay in
+        // ascending id order, as `PositionIndex::build` produces them.
+        let ensure_sorted = |ids: &mut Vec<u32>| {
+            if !ids.windows(2).all(|w| w[0] <= w[1]) {
+                ids.sort_unstable();
+            }
+        };
+        let old_position_indexes = self
+            .position_indexes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut position_indexes = FxHashMap::default();
+        for (&(relation, posbits), old_index) in &old_position_indexes {
+            if !touched[relation.index()] && ids_stable {
+                // Untouched relation, stable ids: the whole index is still
+                // exact — share the allocation instead of cloning buckets.
+                position_indexes.insert((relation, posbits), old_index.clone());
+                continue;
+            }
+            let positions = &old_index.positions;
+            let mut buckets = old_index.buckets.clone();
+            if touched[relation.index()] {
+                buckets.retain(|_, ids| {
+                    let mut mapped: Vec<u32> = ids
+                        .iter()
+                        .filter_map(|&old| {
+                            let new_id = mapping[old as usize];
+                            (new_id != GONE).then_some(new_id)
+                        })
+                        .collect();
+                    if mapped.is_empty() {
+                        return false;
+                    }
+                    ensure_sorted(&mut mapped);
+                    *ids = mapped.into();
+                    true
+                });
+                let mut additions: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+                for (slot, fact) in changes.inserted().iter().enumerate() {
+                    if fact.relation() != relation || inserted_ids[slot] == GONE {
+                        continue;
+                    }
+                    let key: Vec<Value> =
+                        positions.iter().map(|&p| fact.value(p).clone()).collect();
+                    additions.entry(key).or_default().push(inserted_ids[slot]);
+                }
+                for (key, mut ids) in additions {
+                    match buckets.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut entry) => {
+                            let mut merged = entry.get().to_vec();
+                            merged.append(&mut ids);
+                            ensure_sorted(&mut merged);
+                            entry.insert(merged.into());
+                        }
+                        std::collections::hash_map::Entry::Vacant(entry) => {
+                            ensure_sorted(&mut ids);
+                            entry.insert(ids.into());
+                        }
+                    }
+                }
+            } else {
+                // Untouched relation, but some fact ids shifted (a block
+                // reorder, or an insert/removal earlier in the walk): remap
+                // in place (bucket membership is unchanged).
+                for ids in buckets.values_mut() {
+                    let mut mapped: Vec<u32> = ids
+                        .iter()
+                        .map(|&old| {
+                            let new_id = mapping[old as usize];
+                            debug_assert_ne!(new_id, GONE, "untouched relation lost a fact");
+                            new_id
+                        })
+                        .collect();
+                    ensure_sorted(&mut mapped);
+                    *ids = mapped.into();
+                }
+            }
+            position_indexes.insert(
+                (relation, posbits),
+                Arc::new(PositionIndex {
+                    positions: positions.clone(),
+                    buckets,
+                    empty: old_index.empty.clone(),
+                }),
+            );
+        }
+
+        // ---- columnar view ----------------------------------------------
+        // Untouched relations share their column arrays (or take a pure
+        // integer remap when the dictionary changed) — but only while their
+        // ROW ORDER survived: detaching an emptied block swap-removes it,
+        // which permutes the global block walk and can reorder the facts of
+        // relations the delta never touched. Reordered or touched relations
+        // are re-rowed from old rows + dictionary lookups for inserted facts.
+        let rows_stable = |rel: usize| {
+            let new_ids = &base.by_relation[rel];
+            let old_ids = &self.by_relation[rel];
+            new_ids.len() == old_ids.len()
+                && new_ids
+                    .iter()
+                    .zip(old_ids.iter())
+                    .all(|(&new_id, &old_id)| old_of_new[new_id as usize] == old_id)
+        };
+        let columnar_patch: Option<Columnar> = self.columnar.get().map(|columnar| {
+            let domain = domain_patch
+                .as_ref()
+                .expect("a cached columnar view implies a cached active domain");
+            let remap_code = |code: u32| match &code_remap {
+                None => code,
+                Some(remap) => {
+                    let new_code = remap[code as usize];
+                    debug_assert_ne!(new_code, GONE, "a live column referenced a dead code");
+                    new_code
+                }
+            };
+            let relations = (0..self.arities.len())
+                .map(|rel| {
+                    let relation = RelationId::from_index(rel);
+                    let old_columns = columnar.relation_arc(relation);
+                    if !touched[rel] && rows_stable(rel) {
+                        return match &code_remap {
+                            None => old_columns,
+                            Some(_) => Arc::new(RelationColumns::from_columns(
+                                old_columns
+                                    .columns()
+                                    .iter()
+                                    .map(|col| col.iter().map(|&c| remap_code(c)).collect())
+                                    .collect(),
+                                old_columns.row_count(),
+                            )),
+                        };
+                    }
+                    let fact_ids = &base.by_relation[rel];
+                    let old_fact_ids = &self.by_relation[rel];
+                    let arity = self.arities[rel];
+                    let mut columns: Vec<Vec<u32>> =
+                        vec![Vec::with_capacity(fact_ids.len()); arity];
+                    for &fid in fact_ids {
+                        let old = old_of_new[fid as usize];
+                        if old != GONE {
+                            let old_row = old_fact_ids
+                                .binary_search(&old)
+                                .expect("surviving fact was listed in the old relation");
+                            for (pos, column) in columns.iter_mut().enumerate() {
+                                column.push(remap_code(old_columns.column(pos)[old_row]));
+                            }
+                        } else {
+                            let fact = &base.facts[fid as usize];
+                            for (pos, column) in columns.iter_mut().enumerate() {
+                                let code = domain
+                                    .values
+                                    .binary_search(fact.value(pos))
+                                    .expect("inserted values were merged into the dictionary")
+                                    as u32;
+                                column.push(code);
+                            }
+                        }
+                    }
+                    Arc::new(RelationColumns::from_columns(columns, fact_ids.len()))
+                })
+                .collect();
+            Columnar::from_parts(domain.values.clone(), relations)
+        });
+
+        // ---- code indexes -----------------------------------------------
+        // Valid only while both the dictionary and the relation's rows
+        // (content AND order — buckets hold row numbers) are unchanged;
+        // anything else is dropped and lazily rebuilt from the patched
+        // columnar view.
+        let mut code_indexes = FxHashMap::default();
+        if columnar_patch.is_some() && code_remap.is_none() {
+            let old_code_indexes = self
+                .code_indexes
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            for (&(relation, packed), code_index) in &old_code_indexes {
+                if !touched[relation.index()] && rows_stable(relation.index()) {
+                    code_indexes.insert((relation, packed), code_index.clone());
+                }
+            }
+        }
+
+        // ---- assembly ---------------------------------------------------
+        let active_domain = OnceLock::new();
+        if let Some(info) = domain_patch {
+            let _ = active_domain.set(info);
+        }
+        let statistics = OnceLock::new();
+        if let Some(stats) = statistics_patch {
+            let _ = statistics.set(stats);
+        }
+        let columnar = OnceLock::new();
+        if let Some(view) = columnar_patch {
+            let _ = columnar.set(view);
+        }
+        DatabaseIndex {
+            facts: base.facts,
+            fact_blocks: base.fact_blocks,
+            by_relation: base.by_relation,
+            blocks_by_relation: base.blocks_by_relation,
+            arities: base.arities,
+            active_domain,
+            statistics,
+            position_indexes: Mutex::new(position_indexes),
+            columnar,
+            code_indexes: Mutex::new(code_indexes),
+        }
     }
 }
 
@@ -627,5 +1139,62 @@ mod tests {
         // A clone shares the cached snapshot until either side mutates.
         let clone = db.clone();
         assert!(Arc::ptr_eq(&clone.index(), &db.index()));
+    }
+
+    #[test]
+    fn delta_patch_remaps_untouched_relations_when_ids_shift() {
+        let schema = Schema::from_relations([("R", 2, 1), ("S", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("R", ["a", "1"]).unwrap();
+        db.insert_values("S", ["b", "1"]).unwrap();
+        let index = db.index();
+        let s = db.schema().relation_id("S").unwrap();
+        let key = index.position_index(s, PositionSet::single(0));
+        assert_eq!(key.candidates(&[Value::str("b")]), &[1]);
+        // A second alternative joins R's existing block: every fact after
+        // that block shifts by one id, including untouched S's.
+        db.insert_values("R", ["a", "2"]).unwrap();
+        let patched = db.index();
+        let key = patched.position_index(s, PositionSet::single(0));
+        assert_eq!(key.candidates(&[Value::str("b")]), &[2]);
+        assert_eq!(patched.fact(FactId(2)).value(0), &Value::str("b"));
+    }
+
+    #[test]
+    fn delta_patch_rerows_untouched_relations_when_blocks_reorder() {
+        // Blocks walk [R(a), S(x), S(y)]. Emptying R's block swap-removes
+        // it, moving S(y) to the front of the walk: untouched S's rows are
+        // PERMUTED, not shifted, so its cached columns and row-numbered
+        // code indexes must be re-rowed, not carried over.
+        let schema = Schema::from_relations([("R", 2, 1), ("S", 2, 1)])
+            .unwrap()
+            .into_shared();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("R", ["a", "1"]).unwrap();
+        db.insert_values("S", ["x", "1"]).unwrap();
+        db.insert_values("S", ["y", "2"]).unwrap();
+        let s = db.schema().relation_id("S").unwrap();
+        let warm = db.index();
+        let _ = warm.columnar();
+        let _ = warm.code_index(s, &[0]);
+        let r = db.schema().relation_id("R").unwrap();
+        assert!(db.remove_fact(&Fact::new(r, vec![Value::str("a"), Value::str("1")])));
+        let patched = db.index();
+        // New walk: S(y) took the detached block's slot, then S(x).
+        assert_eq!(patched.fact(FactId(0)).value(0), &Value::str("y"));
+        assert_eq!(patched.fact(FactId(1)).value(0), &Value::str("x"));
+        let columnar = patched.columnar();
+        let decode = |row: usize| {
+            columnar
+                .dictionary()
+                .value(columnar.relation(s).column(0)[row])
+        };
+        assert_eq!(decode(0), &Value::str("y"));
+        assert_eq!(decode(1), &Value::str("x"));
+        let code_index = patched.code_index(s, &[0]);
+        let y_code = columnar.dictionary().code_of(&Value::str("y")).unwrap();
+        assert_eq!(code_index.candidates(CodeIndex::pack(&[y_code])), &[0]);
     }
 }

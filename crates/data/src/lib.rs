@@ -28,7 +28,12 @@
 //!   per-relation fact/block lists, hash indexes on arbitrary position
 //!   subsets) that turns the solvers' join steps into hash probes,
 //! * [`Snapshot`] — an owned, immutable, `Send + Sync` point-in-time view
-//!   (database + index) that the parallel layer shares across threads,
+//!   (database + index + epoch) that the parallel layer shares across threads,
+//! * [`delta`] — the mutation log ([`ChangeSet`]) that lets
+//!   [`DatabaseIndex::apply_delta`] patch a cached snapshot instead of
+//!   rebuilding it,
+//! * [`store`] — a durable chunked, dictionary-encoded on-disk format
+//!   ([`store::save`] / [`store::load`]) so instances survive restarts,
 //! * small utilities shared by the rest of the workspace.
 
 #![forbid(unsafe_code)]
@@ -37,17 +42,20 @@
 mod block;
 pub mod columnar;
 mod database;
+pub mod delta;
 mod error;
 mod fact;
 pub mod index;
 mod repairs;
 mod schema;
 mod snapshot;
+pub mod store;
 mod value;
 
 pub use block::{Block, BlockId};
 pub use columnar::{CodeIndex, Columnar, Dictionary, RelationColumns};
 pub use database::UncertainDatabase;
+pub use delta::{ChangeSet, Delta, DEFAULT_DELTA_THRESHOLD};
 pub use error::DataError;
 pub use fact::Fact;
 pub use index::{
@@ -56,6 +64,7 @@ pub use index::{
 pub use repairs::{RepairIter, RepairSampler};
 pub use schema::{Relation, RelationId, Schema, Signature};
 pub use snapshot::Snapshot;
+pub use store::{StoreError, StoreSummary};
 pub use value::Value;
 
 /// Convenience alias used across the workspace for fast hash maps.

@@ -36,6 +36,7 @@ use std::sync::Arc;
 pub struct Snapshot {
     db: Arc<UncertainDatabase>,
     index: Arc<DatabaseIndex>,
+    epoch: u64,
 }
 
 impl Snapshot {
@@ -49,7 +50,22 @@ impl Snapshot {
             // `self.db.index()` and `self.index` stay the same allocation.
             db: Arc::new(db.clone()),
             index,
+            epoch: db.epoch(),
         }
+    }
+
+    /// The mutation epoch of the source database at freeze time
+    /// ([`UncertainDatabase::epoch`]). Comparing this against the live
+    /// database's current epoch detects staleness with one integer compare —
+    /// the check `cqa-par`'s batch engine and the serve loop run per batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True iff `db` has been effectively mutated since this snapshot was
+    /// frozen from it. Only meaningful for the same database lineage.
+    pub fn is_stale_for(&self, db: &UncertainDatabase) -> bool {
+        self.epoch != db.epoch()
     }
 
     /// The frozen database contents.

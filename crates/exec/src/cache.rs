@@ -14,6 +14,15 @@
 //! under the shared read lock; eviction (rare by construction) does an
 //! O(n) min-stamp scan under the write lock. Hits, misses and evictions
 //! are counted in the metrics registry under `exec.plan_cache.*`.
+//!
+//! Since the data layer keeps index snapshots alive across mutations (delta
+//! maintenance instead of invalidation), a cached plan can now outlive the
+//! statistics it was compiled against by *a lot*. Every entry therefore
+//! remembers a [`StatsStamp`] of its compile-time statistics; a hit whose
+//! current statistics have [drifted](StatsStamp::drifted_from) beyond
+//! [`DRIFT_FACTOR`] recompiles the plan with the fresh statistics (counted
+//! as `exec.plan_cache.stale`), so long-lived services keep honest join
+//! orders as the data grows or shrinks underneath them.
 
 use crate::QueryPlan;
 use cqa_data::Statistics;
@@ -28,10 +37,57 @@ use std::sync::{Arc, PoisonError, RwLock};
 /// under a genuinely unbounded query stream.
 pub const DEFAULT_CAPACITY: usize = 1024;
 
-/// A cached plan plus its last-touched stamp.
+/// Cardinality ratio beyond which compile-time statistics are considered
+/// stale: a relation must grow or shrink ≥ 4× before a cached plan is
+/// recompiled. Join-order quality degrades logarithmically with estimate
+/// error, so small drift is harmless while recompiling per mutation would
+/// forfeit the cache entirely.
+pub const DRIFT_FACTOR: usize = 4;
+
+/// A compact summary of the [`Statistics`] a plan was compiled against:
+/// the per-relation fact counts (the only inputs whose drift reorders
+/// joins at the scale the cost model cares about).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsStamp {
+    fact_counts: Vec<usize>,
+}
+
+impl StatsStamp {
+    /// Stamps the statistics a plan is about to be compiled against
+    /// (`None` stamps as "compiled blind").
+    pub fn of(stats: Option<&Statistics>) -> StatsStamp {
+        StatsStamp {
+            fact_counts: stats
+                .map(|s| s.iter().map(|(_, r)| r.fact_count()).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// True iff `stats` differ from this stamp by at least
+    /// [`DRIFT_FACTOR`] on some relation's cardinality (or the stamp was
+    /// taken blind and real statistics are now available). `None` never
+    /// drifts — with no fresh statistics there is nothing better to
+    /// recompile against.
+    pub fn drifted_from(&self, stats: Option<&Statistics>) -> bool {
+        let Some(stats) = stats else {
+            return false;
+        };
+        let current: Vec<usize> = stats.iter().map(|(_, r)| r.fact_count()).collect();
+        if self.fact_counts.len() != current.len() {
+            return true;
+        }
+        self.fact_counts.iter().zip(&current).any(|(&old, &new)| {
+            let (lo, hi) = if old <= new { (old, new) } else { (new, old) };
+            hi.max(1) >= lo.max(1) * DRIFT_FACTOR
+        })
+    }
+}
+
+/// A cached plan plus its last-touched stamp and compile-time statistics.
 struct Entry {
     plan: Arc<QueryPlan>,
     touched: AtomicU64,
+    stamp: StatsStamp,
 }
 
 /// A thread-safe, poison-proof, LRU-bounded cache of compiled
@@ -88,33 +144,59 @@ impl PlanCache {
     }
 
     /// The compiled plan for `query`, compiling (with `stats` guiding the
-    /// join order) only on the first request for this `(schema, query)`.
+    /// join order) only on the first request for this `(schema, query)` —
+    /// or again when `stats` have drifted ≥ [`DRIFT_FACTOR`] from the
+    /// cached plan's compile-time statistics.
     pub fn plan(&self, query: &ConjunctiveQuery, stats: Option<&Statistics>) -> Arc<QueryPlan> {
         let key = fingerprint(query);
+        let mut stale = false;
         if let Some(entry) = self
             .plans
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
-            entry.touched.store(
-                self.tick.fetch_add(1, Ordering::Relaxed) + 1,
-                Ordering::Relaxed,
-            );
-            cqa_obs::count!("exec.plan_cache.hit");
-            return entry.plan.clone();
+            if entry.stamp.drifted_from(stats) {
+                stale = true;
+            } else {
+                entry.touched.store(
+                    self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                    Ordering::Relaxed,
+                );
+                cqa_obs::count!("exec.plan_cache.hit");
+                return entry.plan.clone();
+            }
         }
-        cqa_obs::count!("exec.plan_cache.miss");
+        if stale {
+            cqa_obs::count!("exec.plan_cache.stale");
+        } else {
+            cqa_obs::count!("exec.plan_cache.miss");
+        }
         // Compile outside the lock: concurrent first requests may compile
         // twice, but only one result is kept and both callers get it.
         let compiled = Arc::new(QueryPlan::compile(query, stats));
+        let compile_stamp = StatsStamp::of(stats);
         let mut guard = self.plans.write().unwrap_or_else(PoisonError::into_inner);
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if stale {
+            // Replace the drifted entry (unless a racing recompile already
+            // did; either replacement was compiled against fresh stats).
+            guard.insert(
+                key,
+                Entry {
+                    plan: compiled.clone(),
+                    touched: AtomicU64::new(stamp),
+                    stamp: compile_stamp,
+                },
+            );
+            return compiled;
+        }
         let plan = guard
             .entry(key)
             .or_insert_with(|| Entry {
                 plan: compiled,
                 touched: AtomicU64::new(stamp),
+                stamp: compile_stamp,
             })
             .plan
             .clone();
@@ -203,6 +285,48 @@ mod tests {
         let a2 = cache.plan(&first, None);
         assert!(StdArc::ptr_eq(&a, &a2));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn drifted_statistics_recompile_the_cached_plan() {
+        let cache = PlanCache::new();
+        let q = catalog::conference().query;
+        let mut db = catalog::conference_database();
+        let plan = cache.plan(&q, Some(db.index().statistics()));
+        // Same statistics: cache hit, same allocation.
+        let again = cache.plan(&q, Some(db.index().statistics()));
+        assert!(StdArc::ptr_eq(&plan, &again));
+        // Grow one relation past DRIFT_FACTOR: the hit is declared stale
+        // and the plan recompiles against the fresh statistics.
+        let before = db
+            .index()
+            .statistics()
+            .relation(db.schema().relation_id("R").unwrap())
+            .fact_count();
+        for i in 0..(before * DRIFT_FACTOR + 1) {
+            db.insert_values("R", [format!("conf{i}"), format!("t{i}")])
+                .unwrap();
+        }
+        let recompiled = cache.plan(&q, Some(db.index().statistics()));
+        assert!(!StdArc::ptr_eq(&plan, &recompiled));
+        assert_eq!(cache.len(), 1);
+        // The replacement's stamp is fresh: no further recompile.
+        let stable = cache.plan(&q, Some(db.index().statistics()));
+        assert!(StdArc::ptr_eq(&recompiled, &stable));
+        // Callers without statistics never trigger a drift recompile.
+        let blind = cache.plan(&q, None);
+        assert!(StdArc::ptr_eq(&recompiled, &blind));
+    }
+
+    #[test]
+    fn stats_stamps_measure_relative_drift() {
+        let db = catalog::conference_database();
+        let index = db.index();
+        let stamp = StatsStamp::of(Some(index.statistics()));
+        assert!(!stamp.drifted_from(Some(index.statistics())));
+        assert!(!stamp.drifted_from(None));
+        // A blind stamp drifts as soon as real statistics appear.
+        assert!(StatsStamp::of(None).drifted_from(Some(index.statistics())));
     }
 
     #[test]

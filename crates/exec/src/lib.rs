@@ -46,7 +46,7 @@ pub mod query_plan;
 pub mod tuning;
 pub mod vec;
 
-pub use cache::PlanCache;
+pub use cache::{PlanCache, StatsStamp};
 pub use fo_plan::{FoPlan, PreparedFo};
 pub use query_plan::{PreparedQuery, QueryPlan};
 pub use vec::ExecMode;

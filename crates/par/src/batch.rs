@@ -83,6 +83,30 @@ impl BatchEngine {
         &self.snapshot
     }
 
+    /// The mutation epoch of the engine's snapshot
+    /// ([`Snapshot::epoch`]): one integer compare against the live
+    /// database's [`epoch`](cqa_data::UncertainDatabase::epoch) tells a
+    /// serving loop whether this engine is answering against stale data.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// True iff `db` has been effectively mutated since this engine's
+    /// snapshot was frozen from it.
+    pub fn is_stale_for(&self, db: &cqa_data::UncertainDatabase) -> bool {
+        self.snapshot.is_stale_for(db)
+    }
+
+    /// Swaps in a fresh snapshot, **keeping** the memoized classified
+    /// engines: classification and rewriting shape depend only on the query
+    /// and the schema, not the data, so after a refresh a known query shape
+    /// is still pure plan execution (plans themselves re-check statistics
+    /// drift in their own caches). Counted as `par.batch.refresh`.
+    pub fn refresh(&mut self, snapshot: Snapshot) {
+        cqa_obs::count!("par.batch.refresh");
+        self.snapshot = snapshot;
+    }
+
     /// The pool batch jobs run on.
     pub fn pool(&self) -> &ParPool {
         &self.pool
@@ -248,6 +272,27 @@ mod tests {
         assert_eq!(engine.cached_engine_count(), 1);
         assert_eq!(engine.snapshot().fact_count(), 6);
         assert_eq!(engine.pool().thread_count(), 3);
+    }
+
+    #[test]
+    fn refresh_tracks_epochs_and_keeps_classified_engines() {
+        let mut db = catalog::conference_database();
+        let mut engine = BatchEngine::new(db.snapshot(), ParPool::new(2));
+        let query = catalog::conference().query;
+        engine.answer("warm", &query);
+        assert_eq!(engine.cached_engine_count(), 1);
+        assert!(!engine.is_stale_for(&db));
+        // An effective mutation bumps the database epoch; the frozen
+        // snapshot is now detectably stale by one integer compare.
+        db.insert_values("R", ["conf_new", "t_new"]).unwrap();
+        assert!(engine.is_stale_for(&db));
+        assert_ne!(engine.epoch(), db.epoch());
+        engine.refresh(db.snapshot());
+        assert!(!engine.is_stale_for(&db));
+        assert_eq!(engine.epoch(), db.epoch());
+        // Classification is data-independent: the memo survives the swap.
+        assert_eq!(engine.cached_engine_count(), 1);
+        assert_eq!(engine.snapshot().fact_count(), 7);
     }
 
     #[test]

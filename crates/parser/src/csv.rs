@@ -1,0 +1,180 @@
+//! Minimal CSV fact ingestion — the first "scenario diversity" frontend.
+//!
+//! One CSV file becomes one relation: every record is a fact, the column
+//! count is the arity, and the caller names the relation and says how many
+//! leading columns form the primary key (`key_prefix`). The dialect is the
+//! RFC-4180 core: fields separated by commas, optionally wrapped in double
+//! quotes, with `""` inside a quoted field meaning a literal quote.
+//!
+//! Typing follows the document format's convention: an **unquoted** field
+//! that parses as an integer becomes [`Value::Int`], everything else
+//! becomes [`Value::Str`]. Quoting a field therefore forces it to stay a
+//! string — `123` is the integer, `"123"` the three-character string —
+//! which matters because dictionary codes order integers and strings
+//! separately.
+//!
+//! The resulting [`UncertainDatabase`] feeds straight into
+//! [`cqa_data::store::save`], which is how `certainty ingest` persists it.
+
+use crate::{err, ParseError};
+use cqa_data::{Fact, Schema, UncertainDatabase, Value};
+
+/// Splits one CSV record into its raw fields, remembering which were
+/// quoted. Errors on an unterminated quote or on characters trailing a
+/// closing quote.
+fn split_record(line_no: usize, text: &str) -> Result<Vec<(String, bool)>, ParseError> {
+    let mut fields: Vec<(String, bool)> = Vec::new();
+    let mut current = String::new();
+    let mut was_quoted = false;
+    let mut chars = text.chars().peekable();
+    loop {
+        match chars.next() {
+            None => {
+                fields.push((current, was_quoted));
+                return Ok(fields);
+            }
+            Some(',') => {
+                fields.push((std::mem::take(&mut current), was_quoted));
+                was_quoted = false;
+            }
+            Some('"') if current.is_empty() && !was_quoted => {
+                was_quoted = true;
+                loop {
+                    match chars.next() {
+                        None => return Err(err(line_no, "unterminated quoted field")),
+                        Some('"') if chars.peek() == Some(&'"') => {
+                            chars.next();
+                            current.push('"');
+                        }
+                        Some('"') => break,
+                        Some(c) => current.push(c),
+                    }
+                }
+                if !matches!(chars.peek(), None | Some(',')) {
+                    return Err(err(line_no, "unexpected characters after closing quote"));
+                }
+            }
+            Some('"') => return Err(err(line_no, "quote inside an unquoted field")),
+            Some(c) => current.push(c),
+        }
+    }
+}
+
+/// Parses one CSV record into typed values: unquoted integers become
+/// [`Value::Int`], everything else [`Value::Str`].
+pub fn parse_record(line_no: usize, text: &str) -> Result<Vec<Value>, ParseError> {
+    Ok(split_record(line_no, text)?
+        .into_iter()
+        .map(|(field, quoted)| {
+            if !quoted {
+                if let Ok(i) = field.trim().parse::<i64>() {
+                    return Value::Int(i);
+                }
+            }
+            Value::str(field)
+        })
+        .collect())
+}
+
+/// Ingests CSV text as one relation named `relation` whose first
+/// `key_prefix` columns form the primary key. The arity is the column
+/// count of the first record; every later record must match it. Blank
+/// lines are skipped; duplicate records collapse (inserting an existing
+/// fact is a no-op).
+pub fn database_from_csv(
+    text: &str,
+    relation: &str,
+    key_prefix: usize,
+) -> Result<UncertainDatabase, ParseError> {
+    let mut records: Vec<(usize, Vec<Value>)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push((i + 1, parse_record(i + 1, line)?));
+    }
+    let Some((first_line, first)) = records.first() else {
+        return Err(err(0, "the CSV has no records"));
+    };
+    let arity = first.len();
+    if key_prefix == 0 || key_prefix > arity {
+        return Err(err(
+            *first_line,
+            format!("key prefix must be between 1 and the arity ({arity}), got {key_prefix}"),
+        ));
+    }
+    let mut schema = Schema::new();
+    schema
+        .add_relation(relation, arity, key_prefix)
+        .map_err(|e| err(0, e.to_string()))?;
+    let schema = schema.into_shared();
+    let rel = schema.relation_id(relation).expect("just added");
+    let mut database = UncertainDatabase::new(schema.clone());
+    for (line_no, values) in records {
+        if values.len() != arity {
+            return Err(err(
+                line_no,
+                format!(
+                    "expected {arity} fields (the width of the first record), got {}",
+                    values.len()
+                ),
+            ));
+        }
+        let fact = Fact::checked(&schema, rel, values).map_err(|e| err(line_no, e.to_string()))?;
+        database
+            .insert(fact)
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    Ok(database)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_fields_and_key_prefix() {
+        let db =
+            database_from_csv("PODS,2016,Rome\nPODS,2016,Paris\nKDD,2017,Rome\n", "C", 2).unwrap();
+        assert_eq!(db.fact_count(), 3);
+        assert_eq!(db.block_count(), 2);
+        let rel = db.schema().relation_id("C").unwrap();
+        assert_eq!(db.schema().relation(rel).arity(), 3);
+        assert_eq!(db.schema().relation(rel).key_len(), 2);
+        let years: Vec<&Value> = db.facts().map(|f| f.value(1)).collect();
+        assert!(years.iter().all(|v| matches!(v, Value::Int(_))));
+    }
+
+    #[test]
+    fn quoting_forces_strings_and_escapes_quotes() {
+        let db = database_from_csv("\"123\",\"say \"\"hi\"\", x\",plain\n", "R", 1).unwrap();
+        let fact = db.facts().next().unwrap();
+        assert_eq!(fact.value(0), &Value::str("123"));
+        assert_eq!(fact.value(1), &Value::str("say \"hi\", x"));
+        assert_eq!(fact.value(2), &Value::str("plain"));
+    }
+
+    #[test]
+    fn malformed_records_carry_line_numbers() {
+        let unterminated = database_from_csv("a,b\nc,\"oops\n", "R", 1).unwrap_err();
+        assert_eq!(unterminated.line, 2);
+        let ragged = database_from_csv("a,b\nc\n", "R", 1).unwrap_err();
+        assert_eq!(ragged.line, 2);
+        let empty = database_from_csv("\n  \n", "R", 1).unwrap_err();
+        assert!(empty.message.contains("no records"));
+        let bad_key = database_from_csv("a,b\n", "R", 3).unwrap_err();
+        assert!(bad_key.message.contains("key prefix"));
+        let stray = database_from_csv("\"a\"b,c\n", "R", 1).unwrap_err();
+        assert!(stray.message.contains("after closing quote"));
+        let inner = database_from_csv("a\"b\n", "R", 1).unwrap_err();
+        assert!(inner.message.contains("unquoted"));
+    }
+
+    #[test]
+    fn duplicates_collapse_and_blocks_form() {
+        let db = database_from_csv("k,1\nk,1\nk,2\n", "R", 1).unwrap();
+        assert_eq!(db.fact_count(), 2);
+        assert_eq!(db.block_count(), 1);
+        assert_eq!(db.repair_count(), Some(2));
+    }
+}

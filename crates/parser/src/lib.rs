@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csv;
 pub mod dot;
 
 use cqa_data::{Schema, UncertainDatabase, Value};
@@ -63,7 +64,7 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
+pub(crate) fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
         message: message.into(),

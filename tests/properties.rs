@@ -446,3 +446,211 @@ proptest! {
         }
     }
 }
+
+/// Materializes every cached derived structure on the database's current
+/// index snapshot — statistics, columnar view, active domain, and the
+/// key-prefix hash index of every relation — so that a later mutation has to
+/// delta-patch all of them rather than rebuild lazily.
+fn warm_index(db: &cqa_data::UncertainDatabase) {
+    let index = db.index();
+    let _ = index.statistics();
+    let _ = index.columnar();
+    let _ = index.active_domain();
+    for (rel, relation) in db.schema().iter() {
+        let _ = index.position_index(
+            rel,
+            cqa_data::PositionSet::from_positions(0..relation.key_len()),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Delta maintenance and persistence, end to end: a random interleaving
+    /// of inserts (fresh and duplicate), fact removals (present and absent)
+    /// and block removals is applied to two copies of a generated database —
+    /// one refreshing its index through the delta-patch path, one with the
+    /// delta threshold forced to 0 so every refresh is a from-scratch
+    /// rebuild. The patched index must match the rebuilt one exactly (fact
+    /// ids, block assignment, per-relation id lists, hash-index buckets,
+    /// statistics, active domain), no-op mutations must leave the epoch and
+    /// the delta log untouched, and saving the mutated database to the store
+    /// format must round-trip byte-stably with identical certain answers
+    /// across every [`ExecMode`].
+    #[test]
+    fn delta_patched_index_matches_rebuild_and_store_round_trips(
+        seed in 0u64..100_000, which in 0usize..3
+    ) {
+        let (q, name) = match which {
+            0 => (catalog::conference().query, "conference"),
+            1 => (catalog::fo_path2().query, "fo_path2"),
+            _ => (catalog::fo_path3().query, "fo_path3"),
+        };
+        let mut db = UncertainDbGenerator::new(&q, GeneratorConfig {
+            seed,
+            matches: 1 + (seed % 5) as usize,
+            domain_per_variable: 2 + (seed % 3) as usize,
+            extra_block_facts: (seed % 3) as usize,
+            alternative_join_probability: 0.6,
+        }).generate();
+        let mut rebuilt = db.clone();
+        rebuilt.set_delta_threshold(Some(0));
+        warm_index(&db);
+        warm_index(&rebuilt);
+
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(which as u64) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let steps = 6 + (seed % 7) as usize;
+        for step in 0..steps {
+            let facts: Vec<cqa_data::Fact> = db.facts().cloned().collect();
+            if facts.is_empty() {
+                break;
+            }
+            let donor = facts[(next() as usize) % facts.len()].clone();
+            let last = donor.values().len() - 1;
+            match next() % 6 {
+                0 | 1 => {
+                    // Fresh fact: the donor's tuple with a new last value —
+                    // joins the donor's block (or opens a new one) and grows
+                    // the dictionary and active domain.
+                    let mut values = donor.values().to_vec();
+                    values[last] = cqa_data::Value::str(format!("fresh-{step}-{}", next() % 5));
+                    let fact = cqa_data::Fact::new(donor.relation(), values);
+                    let patched_new = db.insert(fact.clone()).unwrap();
+                    let rebuilt_new = rebuilt.insert(fact).unwrap();
+                    prop_assert_eq!(patched_new, rebuilt_new,
+                        "insert divergence, {} seed {} step {}", name, seed, step);
+                }
+                2 => {
+                    // Duplicate insert: a no-op that must not touch the
+                    // epoch or the pending delta log.
+                    let (epoch, pending) = (db.epoch(), db.pending_delta_len());
+                    prop_assert!(!db.insert(donor.clone()).unwrap(),
+                        "duplicate insert reported new, {} seed {}", name, seed);
+                    prop_assert!(!rebuilt.insert(donor).unwrap(),
+                        "duplicate insert reported new (rebuilt), {} seed {}", name, seed);
+                    prop_assert_eq!(db.epoch(), epoch,
+                        "no-op insert bumped the epoch, {} seed {}", name, seed);
+                    prop_assert_eq!(db.pending_delta_len(), pending,
+                        "no-op insert logged a delta, {} seed {}", name, seed);
+                }
+                3 => {
+                    prop_assert!(db.remove_fact(&donor),
+                        "present fact did not remove, {} seed {}", name, seed);
+                    prop_assert!(rebuilt.remove_fact(&donor),
+                        "present fact did not remove (rebuilt), {} seed {}", name, seed);
+                }
+                4 => {
+                    prop_assert!(db.remove_block_of(&donor),
+                        "present block did not remove, {} seed {}", name, seed);
+                    prop_assert!(rebuilt.remove_block_of(&donor),
+                        "present block did not remove (rebuilt), {} seed {}", name, seed);
+                }
+                _ => {
+                    // Removing an absent fact: a no-op that must not touch
+                    // the epoch or the pending delta log.
+                    let mut values = donor.values().to_vec();
+                    values[last] = cqa_data::Value::str("absent-probe");
+                    let ghost = cqa_data::Fact::new(donor.relation(), values);
+                    let (epoch, pending) = (db.epoch(), db.pending_delta_len());
+                    prop_assert!(!db.remove_fact(&ghost),
+                        "absent fact removed, {} seed {}", name, seed);
+                    prop_assert!(!rebuilt.remove_fact(&ghost),
+                        "absent fact removed (rebuilt), {} seed {}", name, seed);
+                    prop_assert_eq!(db.epoch(), epoch,
+                        "no-op removal bumped the epoch, {} seed {}", name, seed);
+                    prop_assert_eq!(db.pending_delta_len(), pending,
+                        "no-op removal logged a delta, {} seed {}", name, seed);
+                }
+            }
+            if next() % 2 == 0 {
+                // Flush the pending deltas into a patched snapshot now and
+                // then, so later mutations chain patch-on-patch.
+                warm_index(&db);
+            }
+        }
+
+        // The delta-patched index must equal the from-scratch rebuild
+        // structure by structure.
+        warm_index(&db);
+        warm_index(&rebuilt);
+        let patched = db.index();
+        let reference = rebuilt.index();
+        prop_assert_eq!(patched.fact_count(), reference.fact_count(),
+            "fact count, {} seed {}", name, seed);
+        for i in 0..patched.fact_count() {
+            let id = cqa_data::FactId::from_index(i);
+            prop_assert_eq!(patched.fact(id), reference.fact(id),
+                "fact id {} diverged, {} seed {}", i, name, seed);
+            prop_assert_eq!(patched.block_of(id), reference.block_of(id),
+                "block of fact {} diverged, {} seed {}", i, name, seed);
+        }
+        prop_assert_eq!(patched.active_domain(), reference.active_domain(),
+            "active domain, {} seed {}", name, seed);
+        prop_assert_eq!(patched.statistics(), reference.statistics(),
+            "statistics, {} seed {}", name, seed);
+        for (rel, relation) in db.schema().iter() {
+            prop_assert_eq!(
+                patched.relation_fact_ids(rel), reference.relation_fact_ids(rel),
+                "fact ids of {}, {} seed {}", relation.name, name, seed);
+            prop_assert_eq!(
+                patched.relation_block_ids(rel), reference.relation_block_ids(rel),
+                "block ids of {}, {} seed {}", relation.name, name, seed);
+            let posbits = cqa_data::PositionSet::from_positions(0..relation.key_len());
+            let a = patched.position_index(rel, posbits);
+            let b = reference.position_index(rel, posbits);
+            prop_assert_eq!(a.key_count(), b.key_count(),
+                "key count of {}, {} seed {}", relation.name, name, seed);
+            for key in b.keys() {
+                prop_assert_eq!(a.candidates(key), b.candidates(key),
+                    "bucket {:?} of {}, {} seed {}", key, relation.name, name, seed);
+            }
+            // The columnar view may assign dictionary codes in a different
+            // order after patching; compare the decoded cells instead.
+            let (ca, cb) = (patched.columnar(), reference.columnar());
+            let (ra, rb) = (ca.relation(rel), cb.relation(rel));
+            prop_assert_eq!(ra.row_count(), rb.row_count(),
+                "columnar rows of {}, {} seed {}", relation.name, name, seed);
+            for p in 0..relation.arity() {
+                for (x, y) in ra.column(p).iter().zip(rb.column(p)) {
+                    prop_assert_eq!(ca.dictionary().value(*x), cb.dictionary().value(*y),
+                        "columnar cell of {}, {} seed {}", relation.name, name, seed);
+                }
+            }
+        }
+
+        // Persistence: the mutated database must survive a save → load
+        // round trip byte-stably and answer identically in every mode.
+        let bytes = cqa_data::store::save_to_vec(&db);
+        let loaded = cqa_data::store::load_from_slice(&bytes).expect("a fresh save loads");
+        prop_assert_eq!(&bytes, &cqa_data::store::save_to_vec(&loaded),
+            "save-load-save not byte stable, {} seed {}", name, seed);
+        let solver = RewritingSolver::new(&q).unwrap();
+        let fo_plan = FoPlan::compile(solver.formula(), q.schema(), None);
+        let loaded_index = loaded.index();
+        let free_q = cqa::query::ConjunctiveQuery::with_free_vars(
+            q.schema().clone(),
+            q.atoms().to_vec(),
+            vec![cqa::query::Variable::new("x")],
+        ).unwrap();
+        let candidates = cqa::core::answers::possible_answers(&free_q, &db).unwrap();
+        for mode in [ExecMode::RowAtATime, ExecMode::Vectorized, ExecMode::Auto] {
+            prop_assert_eq!(
+                fo_plan.prepare(&loaded_index).with_mode(mode).eval(),
+                fo_plan.prepare(&patched).with_mode(mode).eval(),
+                "verdict after reload {:?}, {} seed {}", mode, name, seed);
+            let engine = CertainAnswersEngine::new(&free_q).unwrap().with_mode(mode);
+            let on_patched = engine.certain_of(&db, &candidates).unwrap();
+            prop_assert_eq!(&engine.certain_of(&rebuilt, &candidates).unwrap(), &on_patched,
+                "certain answers patched vs rebuilt {:?}, {} seed {}", mode, name, seed);
+            prop_assert_eq!(&engine.certain_of(&loaded, &candidates).unwrap(), &on_patched,
+                "certain answers after reload {:?}, {} seed {}", mode, name, seed);
+        }
+    }
+}
