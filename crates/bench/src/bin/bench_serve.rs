@@ -1,0 +1,323 @@
+//! Sustained throughput and latency of the `cqa-serve` network server
+//! under a mixed read/write load, recorded in `BENCH_serve.json` at the
+//! workspace root.
+//!
+//! For each client count, the benchmark binds a fresh server on an
+//! ephemeral port and runs three phases:
+//!
+//! 1. **Verify** — one client replays every benchmark query and asserts
+//!    each response **byte-identical** to the single-threaded reference
+//!    engine's rendering (shared `cqa_serve::protocol` formatting, so the
+//!    comparison is about evaluation, not formatting).
+//! 2. **Measure** — N client threads send the query mix synchronously
+//!    (one request in flight per connection), recording one client-side
+//!    latency sample per request, while one writer connection streams
+//!    effective `\insert`/`\remove` writes, each publishing a new epoch.
+//! 3. **Final-state check** — after the writers stop, the write stream is
+//!    replayed onto a local mirror database and a probe query must render
+//!    exactly the mirror's reference answer.
+//!
+//! Reported per client count: sustained qps (total queries / wall time)
+//! and nearest-rank p50/p99 of the client-side latency samples.
+//!
+//! The recorded `host_cpus` matters when reading the numbers: on a 1-CPU
+//! container all clients, the writer, and the server's pool time-slice one
+//! core, so qps does not scale with clients — the correctness phases still
+//! mean exactly what they say.
+//!
+//! Run with `cargo run --release -p cqa-bench --bin bench_serve`
+//! (`--quick` shrinks the workload for CI smoke runs).
+
+use cqa_bench::{ms, quick_flag, write_bench_json};
+use cqa_core::answers::certain_answers;
+use cqa_data::Schema;
+use cqa_par::{BatchEngine, BatchOutcome, BatchResult, ParPool};
+use cqa_parser::parse_document;
+use cqa_serve::{protocol, Request, Server, ServerConfig, WriteOp};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The served document: Figure 1's conference schema with enough filler
+/// rows that open queries cross several cancellation chunks.
+fn serving_document(rows: usize) -> String {
+    let mut text = String::from(
+        "relation C(conf*, year*, city)\n\
+         relation R(conf*, rank)\n\
+         C(PODS, 2016, Rome)\n\
+         C(PODS, 2016, Paris)\n\
+         C(KDD, 2017, Rome)\n\
+         R(PODS, A)\n\
+         R(KDD, A)\n\
+         R(KDD, B)\n",
+    );
+    for i in 0..rows {
+        let conf = format!("conf{}", i % 17);
+        let year = 2000 + i;
+        let _ = writeln!(text, "C({conf}, {year}, city{})", i % 5);
+        if i % 3 == 0 {
+            let _ = writeln!(text, "C({conf}, {year}, Rome)");
+        }
+    }
+    for c in 0..17 {
+        let _ = writeln!(text, "R(conf{c}, A)");
+        if c % 2 == 0 {
+            let _ = writeln!(text, "R(conf{c}, B)");
+        }
+    }
+    text
+}
+
+/// The benchmark's query mix: Boolean certainty, open queries of different
+/// widths, and a constant-only membership probe.
+fn query_mix() -> Vec<&'static str> {
+    vec![
+        "certain rome :- C(x, y, \"Rome\"), R(x, \"A\")",
+        "which(x) :- C(x, y, \"Rome\"), R(x, \"A\")",
+        "ranked(x) :- R(x, y)",
+        "city :- C(x, y, \"Paris\")",
+    ]
+}
+
+/// The probe deciding the final-state check: it ranges exactly over the
+/// facts the writer inserts.
+const FINAL_PROBE: &str = "wrote(x) :- C(x, y, \"wcity\")";
+
+/// What the single-threaded reference renders for `line`.
+fn reference_response(schema: &Arc<Schema>, reference: &BatchEngine, line: &str) -> String {
+    let Ok(Some(Request::Query { name, query })) = protocol::parse_request(schema, line, 1) else {
+        panic!("benchmark queries must parse: {line}");
+    };
+    if query.is_boolean() {
+        protocol::render_result(&reference.answer(&name, &query))
+    } else {
+        let sets = certain_answers(&query, reference.snapshot().database())
+            .expect("benchmark queries are answerable");
+        protocol::render_result(&BatchResult {
+            name,
+            outcome: BatchOutcome::Answers(sets),
+        })
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to the benchmark server");
+        stream.set_nodelay(true).expect("set TCP_NODELAY");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        response.trim_end_matches(['\n', '\r']).to_string()
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency sample set.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct LoadPoint {
+    clients: usize,
+    queries: usize,
+    writes: usize,
+    wall: Duration,
+    qps: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn main() {
+    let quick = quick_flag();
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let client_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let per_client = if quick { 60 } else { 400 };
+    if host_cpus == 1 {
+        eprintln!(
+            "WARNING: this host reports 1 CPU. Clients, the writer and the server pool \
+             time-slice a single core, so qps will not scale with client count; the \
+             byte-equality and final-state verifications still hold."
+        );
+    }
+
+    let doc = parse_document(&serving_document(if quick { 40 } else { 150 }))
+        .expect("benchmark document parses");
+    let schema = doc.schema.clone();
+    let reference = BatchEngine::new(doc.database.snapshot(), ParPool::new(1));
+    let queries = query_mix();
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|line| reference_response(&schema, &reference, line))
+        .collect();
+
+    let mut points = Vec::new();
+    for &clients in client_counts {
+        let server = Server::bind(doc.database.clone(), "127.0.0.1:0", ServerConfig::default())
+            .expect("bind ephemeral port");
+        let handle = server.spawn().expect("spawn acceptor");
+        let addr = handle.addr();
+
+        // Phase 1: byte-equality verification against the reference.
+        let mut verifier = Client::connect(addr);
+        for (line, expected) in queries.iter().zip(&expected) {
+            let response = verifier.ask(line);
+            assert_eq!(
+                &response, expected,
+                "server response diverged from the single-threaded reference on `{line}`"
+            );
+        }
+
+        // Phase 2: timed mixed read/write load.
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut ops: Vec<String> = Vec::new();
+                let mut oldest = 0usize;
+                let mut next = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    // Mostly inserts of fresh keys, occasionally removing the
+                    // oldest — every op is effective and publishes an epoch.
+                    let op = if next > oldest && next.is_multiple_of(5) {
+                        let op = format!("\\remove C(wconf{oldest}, 1, wcity)");
+                        oldest += 1;
+                        op
+                    } else {
+                        let op = format!("\\insert C(wconf{next}, 1, wcity)");
+                        next += 1;
+                        op
+                    };
+                    let response = client.ask(&op);
+                    assert!(
+                        response.starts_with("ok: inserted, epoch ")
+                            || response.starts_with("ok: removed, epoch "),
+                        "unexpected write response: {response}"
+                    );
+                    ops.push(op);
+                }
+                ops
+            })
+        };
+        let started = Instant::now();
+        let readers: Vec<_> = (0..clients)
+            .map(|reader_id| {
+                let queries = queries.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let line = queries[(i + reader_id) % queries.len()];
+                        let sent = Instant::now();
+                        let response = client.ask(line);
+                        latencies.push(sent.elapsed());
+                        assert!(
+                            !response.contains("error:"),
+                            "read failed under load: {response}"
+                        );
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut latencies: Vec<Duration> = Vec::new();
+        for reader in readers {
+            latencies.extend(reader.join().expect("reader thread"));
+        }
+        let wall = started.elapsed();
+        done.store(true, Ordering::Relaxed);
+        let ops = writer.join().expect("writer thread");
+
+        // Phase 3: the final epoch must equal the mirror of the write log.
+        let mut mirror = doc.database.clone();
+        for op in &ops {
+            let Ok(Some(Request::Write(write))) = protocol::parse_request(&schema, op, 1) else {
+                panic!("write op must parse: {op}");
+            };
+            let changed = match &write {
+                WriteOp::Insert(fact) => mirror.insert(fact.clone()).expect("mirror insert"),
+                WriteOp::RemoveFact(fact) => mirror.remove_fact(fact),
+                WriteOp::RemoveBlock(fact) => mirror.remove_block_of(fact),
+            };
+            assert!(changed, "benchmark writes are effective by construction");
+        }
+        let mirror_engine = BatchEngine::new(mirror.snapshot(), ParPool::new(1));
+        let expected_final = reference_response(&schema, &mirror_engine, FINAL_PROBE);
+        let observed_final = Client::connect(addr).ask(FINAL_PROBE);
+        assert_eq!(
+            observed_final, expected_final,
+            "final epoch diverged from the replayed write log"
+        );
+        handle.shutdown();
+
+        latencies.sort_unstable();
+        let queries_total = clients * per_client;
+        let point = LoadPoint {
+            clients,
+            queries: queries_total,
+            writes: ops.len(),
+            wall,
+            qps: queries_total as f64 / wall.as_secs_f64().max(1e-9),
+            p50: percentile(&latencies, 50.0),
+            p99: percentile(&latencies, 99.0),
+        };
+        eprintln!(
+            "{} client(s): {} queries + {} writes in {:.1} ms — {:.1} qps, p50 {:.3} ms, p99 {:.3} ms",
+            point.clients,
+            point.queries,
+            point.writes,
+            ms(point.wall),
+            point.qps,
+            ms(point.p50),
+            ms(point.p99),
+        );
+        points.push(point);
+    }
+
+    let caveat = if host_cpus == 1 {
+        "\n  \"caveat\": \"host_cpus == 1: clients, writer and server pool time-slice a single core, so qps does not scale with client count on this host\","
+    } else {
+        ""
+    };
+    let mut entries = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            entries,
+            "{}    {{ \"clients\": {}, \"queries\": {}, \"writes\": {}, \"wall_ms\": {:.3}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+            if i == 0 { "" } else { ",\n" },
+            p.clients,
+            p.queries,
+            p.writes,
+            ms(p.wall),
+            p.qps,
+            ms(p.p50),
+            ms(p.p99),
+        );
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"concurrent certainty serve: sustained qps and latency under mixed read/write\",\n  \"generated_by\": \"cargo run --release -p cqa-bench --bin bench_serve\",\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},{caveat}\n  \"verified\": \"per client count: every warm-up response byte-identical to the single-threaded reference; final epoch equal to a replay of the write log\",\n  \"load\": [\n{entries}\n  ]\n}}\n",
+    );
+    let out = write_bench_json("BENCH_serve.json", &json);
+    eprintln!("wrote {}", out.display());
+    print!("{json}");
+}

@@ -10,7 +10,9 @@
 //! certainty probability <file.cqa>           Pr(q) under the uniform-repair distribution
 //! certainty repairs <file.cqa>               list/count repairs of the database
 //! certainty attack-graph <file.cqa> [--dot]  print the attack graph (optionally as DOT)
-//! certainty serve <file.cqa> [--threads=N]   answer newline-delimited stdin queries concurrently
+//! certainty serve <file.cqa> [--threads=N] [--listen=ADDR] [--max-inflight=N] [--deadline-ms=N]
+//!                                            answer newline-delimited queries concurrently
+//!                                            (stdin by default; a TCP/HTTP server with --listen)
 //! certainty stats <file.cqa>                 answer the document's queries, then dump all metrics
 //! certainty save <file.cqa> <out.cqdb>       persist the database in the columnar store format
 //! certainty ingest <file.csv> <out.cqdb> --relation=R [--key-prefix=K]
@@ -35,6 +37,14 @@
 //! qps, latency percentiles and cache hit rates mid-stream (also printed to
 //! stderr after every flushed chunk).
 //!
+//! With `--listen=ADDR` (e.g. `--listen=127.0.0.1:7878`), `serve` instead
+//! starts the concurrent network server of the `cqa-serve` crate: many
+//! clients at once, writes (`\insert` / `\remove` / `\remove-block`) that
+//! publish MVCC-style epoch snapshots without blocking in-flight readers,
+//! admission control (`--max-inflight=N`), per-query deadlines
+//! (`--deadline-ms=N`), and HTTP `GET /metrics` + `POST /query` on the same
+//! port. The line protocol is documented in `cqa_serve::protocol`.
+//!
 //! The input format is documented in the `cqa-parser` crate (and in
 //! `README.md`).
 
@@ -54,7 +64,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn usage() -> &'static str {
-    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph|serve|stats|save|ingest> <file> [out.cqdb] [--sql] [--dot] [--analyze] [--query=NAME] [--threads=N] [--db=PATH] [--relation=NAME] [--key-prefix=K]"
+    "usage: certainty <classify|certain|answers|rewrite|explain|probability|repairs|attack-graph|serve|stats|save|ingest> <file> [out.cqdb] [--sql] [--dot] [--analyze] [--query=NAME] [--threads=N] [--listen=ADDR] [--max-inflight=N] [--deadline-ms=N] [--db=PATH] [--relation=NAME] [--key-prefix=K]"
 }
 
 fn load(path: &str) -> Result<Document, String> {
@@ -116,37 +126,11 @@ fn flush_serve(
     }
 }
 
-/// One serving-stats line: throughput, latency percentiles (from the
-/// `par.batch.query_nanos` histogram) and cache hit rates.
+/// One serving-stats line, shared with the network server's `\stats`
+/// command (`inflight` is always 0 here: the stdin loop has no admission
+/// control).
 fn serve_stats_line(engine: &BatchEngine, served: usize, started: Instant) -> String {
-    engine.pool().record_metrics();
-    let snapshot = cqa_obs::Registry::global().snapshot();
-    let qps = served as f64 / started.elapsed().as_secs_f64().max(1e-9);
-    let (p50, p99) = snapshot
-        .histogram("par.batch.query_nanos")
-        .map(|h| {
-            (
-                h.percentile(50.0) as f64 / 1e6,
-                h.percentile(99.0) as f64 / 1e6,
-            )
-        })
-        .unwrap_or((0.0, 0.0));
-    let rate = |prefix: &str| {
-        snapshot
-            .hit_rate(prefix)
-            .map_or_else(|| "-".to_string(), |r| format!("{:.0}%", r * 100.0))
-    };
-    format!(
-        "stats: {served} served, {qps:.1} qps, p50 {p50:.3} ms, p99 {p99:.3} ms, \
-         plan-cache {}, engine-cache {}, steals {}, epoch {}, \
-         index deltas {} applied / {} rebuilt",
-        rate("exec.plan_cache"),
-        rate("par.batch.engine"),
-        engine.pool().steals(),
-        engine.epoch(),
-        snapshot.counter("data.index.delta_applied"),
-        snapshot.counter("data.index.delta_fallback_rebuild"),
-    )
+    cqa_serve::stats_line(engine, served, started, 0)
 }
 
 fn run() -> Result<(), String> {
@@ -155,6 +139,9 @@ fn run() -> Result<(), String> {
         args.iter().partition(|a| a.starts_with("--"));
     let mut query_filter: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut listen: Option<String> = None;
+    let mut max_inflight: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut db_path: Option<String> = None;
     let mut relation: Option<String> = None;
     let mut key_prefix: usize = 1;
@@ -167,6 +154,21 @@ fn run() -> Result<(), String> {
                     value
                         .parse()
                         .map_err(|_| format!("--threads expects a number, got `{value}`"))?,
+                )
+            }
+            Some(("--listen", value)) => listen = Some(value.to_string()),
+            Some(("--max-inflight", value)) => {
+                max_inflight = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--max-inflight expects a number, got `{value}`"))?,
+                )
+            }
+            Some(("--deadline-ms", value)) => {
+                deadline_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--deadline-ms expects a number, got `{value}`"))?,
                 )
             }
             Some(("--db", value)) => db_path = Some(value.to_string()),
@@ -382,6 +384,24 @@ fn run() -> Result<(), String> {
                 doc.database.repair_count_log2()
             ),
         },
+        "serve" if listen.is_some() => {
+            let addr = listen.expect("guarded by the match arm");
+            let config = cqa_serve::ServerConfig {
+                threads,
+                max_inflight: max_inflight.unwrap_or(64),
+                deadline: deadline_ms.map(std::time::Duration::from_millis),
+                ..cqa_serve::ServerConfig::default()
+            };
+            let server = cqa_serve::Server::bind(doc.database.clone(), &addr, config)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let local = server.local_addr().map_err(|e| e.to_string())?;
+            eprintln!(
+                "serving on {local} ({} worker threads); line protocol per connection, \
+                 HTTP GET /metrics + POST /query on the same port",
+                server.pool().thread_count()
+            );
+            server.run().map_err(|e| e.to_string())?;
+        }
         "serve" => {
             let pool = match threads {
                 Some(n) => ParPool::new(n),

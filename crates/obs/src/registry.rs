@@ -267,6 +267,38 @@ impl Snapshot {
         }
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format — the
+    /// body of the serving layer's `GET /metrics` endpoint. Metric names
+    /// have their dots replaced by underscores (`par.batch.query_nanos` →
+    /// `par_batch_query_nanos`); counters and gauges emit one sample each,
+    /// histograms emit `_count`, `_sum` and quantile gauges for p50/p90/p99.
+    pub fn render_prometheus(&self) -> String {
+        let sanitize = |name: &str| name.replace(['.', '-'], "_");
+        let mut out = String::new();
+        for (name, value) in &self.values {
+            let name = sanitize(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +343,32 @@ mod tests {
         assert!(text.contains("a.count"), "{text}");
         assert!(text.contains("(gauge)"), "{text}");
         assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_names_and_types_metrics() {
+        let reg = Registry::new();
+        reg.counter("serve.requests").add(7);
+        reg.gauge("serve.inflight").set(2);
+        reg.histogram("par.batch.query_nanos").record(2048);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE serve_requests counter"), "{text}");
+        assert!(text.contains("serve_requests 7"), "{text}");
+        assert!(text.contains("# TYPE serve_inflight gauge"), "{text}");
+        assert!(text.contains("serve_inflight 2"), "{text}");
+        assert!(
+            text.contains("# TYPE par_batch_query_nanos summary"),
+            "{text}"
+        );
+        assert!(
+            text.contains("par_batch_query_nanos{quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(text.contains("par_batch_query_nanos_count 1"), "{text}");
+        assert!(
+            !text.contains("serve.requests"),
+            "dotted name leaked: {text}"
+        );
     }
 
     #[test]

@@ -107,6 +107,22 @@ impl BatchEngine {
         self.snapshot = snapshot;
     }
 
+    /// A new engine over `snapshot` that **shares** this engine's pool and
+    /// memoized classified engines. This is the epoch-swap primitive of the
+    /// serving layer: readers keep answering on the old engine's frozen
+    /// snapshot while the writer builds the next epoch's engine from the
+    /// delta-patched index; publishing the new engine is then one atomic
+    /// pointer swap, and known query shapes stay pure plan execution on
+    /// both sides of the swap. Counted as `par.batch.epoch_fork`.
+    pub fn with_snapshot(&self, snapshot: Snapshot) -> BatchEngine {
+        cqa_obs::count!("par.batch.epoch_fork");
+        BatchEngine {
+            snapshot,
+            pool: self.pool.clone(),
+            engines: self.engines.clone(),
+        }
+    }
+
     /// The pool batch jobs run on.
     pub fn pool(&self) -> &ParPool {
         &self.pool
@@ -293,6 +309,26 @@ mod tests {
         // Classification is data-independent: the memo survives the swap.
         assert_eq!(engine.cached_engine_count(), 1);
         assert_eq!(engine.snapshot().fact_count(), 7);
+    }
+
+    #[test]
+    fn with_snapshot_forks_an_epoch_sharing_the_engine_memo() {
+        let mut db = catalog::conference_database();
+        let old = BatchEngine::new(db.snapshot(), ParPool::new(2));
+        let query = catalog::conference().query;
+        old.answer("warm", &query);
+        assert_eq!(old.cached_engine_count(), 1);
+        db.insert_values("R", ["conf_new", "t_new"]).unwrap();
+        let new = old.with_snapshot(db.snapshot());
+        // The fork shares the classified-engine memo and the pool, but the
+        // old engine keeps answering on its frozen epoch.
+        assert_eq!(new.cached_engine_count(), 1);
+        assert_eq!(old.snapshot().fact_count(), 6);
+        assert_eq!(new.snapshot().fact_count(), 7);
+        assert_ne!(old.epoch(), new.epoch());
+        assert_eq!(new.epoch(), db.epoch());
+        new.answer("again", &query);
+        assert_eq!(old.cached_engine_count(), 1, "memo is shared, not copied");
     }
 
     #[test]

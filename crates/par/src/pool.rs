@@ -57,6 +57,16 @@ impl ParPool {
         cqa_obs::gauge_set!("par.pool.steals", self.steals() as i64);
     }
 
+    /// Runs `job` on the pool, fire-and-forget. This is the raw dispatch
+    /// primitive the serving layer (`cqa-serve`) uses to run one query per
+    /// job with its own cancellation token; prefer the structured
+    /// [`BatchEngine`](crate::BatchEngine) / `par_*` entry points when the
+    /// results must be merged. A panicking job is confined to itself: the
+    /// worker survives and keeps taking jobs.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.execute(job);
+    }
+
     pub(crate) fn execute(&self, job: impl FnOnce() + Send + 'static) {
         cqa_obs::count!("par.tasks");
         self.pool.execute(job);

@@ -233,6 +233,24 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
     })
 }
 
+/// Parses one fact line `R(a, 1, "quoted")` against a schema: every
+/// argument is a constant (quoted string, integer, or bare symbol). This is
+/// the write half of the serve protocol (`\insert` / `\remove` /
+/// `\remove-block` lines); fact lines of a document go through
+/// [`parse_document`].
+pub fn parse_fact_line(
+    schema: &Arc<Schema>,
+    line: &str,
+    line_no: usize,
+) -> Result<cqa_data::Fact, ParseError> {
+    let (name, args) = split_call(line_no, line.trim())?;
+    let rel = schema
+        .relation_id(&name)
+        .ok_or_else(|| err(line_no, format!("unknown relation `{name}`")))?;
+    let values: Vec<Value> = args.iter().map(|a| parse_constant(a)).collect();
+    cqa_data::Fact::checked(schema, rel, values).map_err(|e| err(line_no, e.to_string()))
+}
+
 /// Parses one named query line `name[(vars)] :- R(x, "a"), S(y, x)` (the
 /// part after the `certain` keyword of a document, or one line of a
 /// `certainty serve` stream; a bare `:- body` or even a bare `body` gets
@@ -361,6 +379,20 @@ certain which(x) :- C(x, y, "Rome"), R(x, "A")
         let strict = parse_document("relation R(a*)\ncertain R(x)\n").unwrap_err();
         assert_eq!(strict.line, 2);
         assert!(strict.to_string().contains(":-"));
+    }
+
+    #[test]
+    fn fact_lines_parse_standalone() {
+        // The serve protocol's write format: one fact per line.
+        let doc = parse_document(CONFERENCE).unwrap();
+        let fact = parse_fact_line(&doc.schema, "R(PODS, A)", 1).unwrap();
+        assert!(doc.database.contains(&fact));
+        let fresh = parse_fact_line(&doc.schema, "C(ICDT, 2015, \"Brussels\")", 2).unwrap();
+        assert!(!doc.database.contains(&fresh));
+        assert_eq!(fresh.values()[1], Value::Int(2015));
+        assert!(parse_fact_line(&doc.schema, "T(a)", 3).is_err());
+        assert!(parse_fact_line(&doc.schema, "R(PODS)", 4).is_err());
+        assert!(parse_fact_line(&doc.schema, "no parens", 5).is_err());
     }
 
     #[test]

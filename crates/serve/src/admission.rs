@@ -1,0 +1,223 @@
+//! Admission control and per-query cancellation.
+//!
+//! Two small synchronization pieces keep an overloaded server honest:
+//!
+//! * [`Admission`] bounds the number of in-flight queries (queued on the
+//!   pool + running). A request past the bound is **rejected immediately**
+//!   with a loud error — bounded latency beats an unbounded queue.
+//! * [`CancelToken`] carries a query's deadline and cancellation flag. The
+//!   evaluation loop polls it between candidate chunks
+//!   ([`CancelToken::is_cancelled`]); the connection handler trips it when
+//!   the deadline passes, and test hooks can block on
+//!   [`CancelToken::wait_cancelled`] to simulate a slow query that is
+//!   *guaranteed* to still be running at its deadline — deterministic
+//!   timeout tests without sleeps-as-synchronization.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// A bounded in-flight-query counter. `max == 0` rejects every query —
+/// useful for testing the overload path deterministically.
+#[derive(Debug)]
+pub struct Admission {
+    max: usize,
+    inflight: Arc<AtomicUsize>,
+}
+
+impl Admission {
+    /// Admission control admitting at most `max` concurrent queries.
+    pub fn new(max: usize) -> Admission {
+        Admission {
+            max,
+            inflight: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The configured bound.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Queries currently admitted (queued + running).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Tries to admit one query: `Some(permit)` reserves a slot released
+    /// when the permit drops, `None` means the server is saturated and the
+    /// caller must reject. Lock-free compare-and-swap, so the rejection
+    /// path is prompt no matter how contended the server is.
+    pub fn try_acquire(&self) -> Option<Permit> {
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.max {
+                cqa_obs::count!("serve.rejected_overload");
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    cqa_obs::gauge_set!("serve.inflight", (current + 1) as i64);
+                    return Some(Permit {
+                        inflight: self.inflight.clone(),
+                    });
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// A reserved in-flight slot; dropping it releases the slot. Moves into the
+/// query's pool job so the slot stays held until evaluation really ends —
+/// even after the waiting handler gave up at the deadline.
+#[derive(Debug)]
+pub struct Permit {
+    inflight: Arc<AtomicUsize>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let was = self.inflight.fetch_sub(1, Ordering::AcqRel);
+        cqa_obs::gauge_set!("serve.inflight", was.saturating_sub(1) as i64);
+    }
+}
+
+/// A query's deadline and cancellation flag, shared between the connection
+/// handler (which trips it) and the evaluating worker (which polls it at
+/// chunk boundaries).
+#[derive(Debug)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    cancelled: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl CancelToken {
+    /// A token that cancels when [`cancel`](Self::cancel)ed or — if
+    /// `deadline` is set — when the deadline passes.
+    pub fn new(deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            deadline,
+            cancelled: Mutex::new(false),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// The query's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Trips the token and wakes any [`wait_cancelled`](Self::wait_cancelled)
+    /// waiter.
+    pub fn cancel(&self) {
+        *self
+            .cancelled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.wake.notify_all();
+    }
+
+    /// True once the token is tripped or its deadline has passed. The
+    /// evaluation loop polls this between chunks; a `true` answer means
+    /// "stop now, the client is no longer waiting for this result".
+    pub fn is_cancelled(&self) -> bool {
+        if *self
+            .cancelled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return true;
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Blocks until the token cancels (explicitly or by deadline). This is
+    /// the deterministic "deliberately slow query": a test hook that parks
+    /// here is guaranteed to still be running when the deadline fires, so
+    /// the timeout path is exercised without timing guesswork.
+    pub fn wait_cancelled(&self) {
+        let mut cancelled = self
+            .cancelled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if *cancelled {
+                return;
+            }
+            match self.deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return;
+                    }
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(cancelled, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    cancelled = guard;
+                }
+                None => {
+                    cancelled = self
+                        .wake
+                        .wait(cancelled)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn admission_bounds_inflight_and_releases_on_drop() {
+        let admission = Admission::new(2);
+        let a = admission.try_acquire().expect("slot 1");
+        let _b = admission.try_acquire().expect("slot 2");
+        assert_eq!(admission.inflight(), 2);
+        assert!(admission.try_acquire().is_none(), "saturated");
+        drop(a);
+        assert_eq!(admission.inflight(), 1);
+        assert!(admission.try_acquire().is_some(), "slot freed");
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let admission = Admission::new(0);
+        assert!(admission.try_acquire().is_none());
+        assert_eq!(admission.inflight(), 0);
+    }
+
+    #[test]
+    fn tokens_cancel_explicitly_and_by_deadline() {
+        let token = CancelToken::new(None);
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+
+        let expired = CancelToken::new(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(expired.is_cancelled());
+        expired.wait_cancelled(); // returns immediately: deadline passed
+    }
+
+    #[test]
+    fn waiters_wake_on_cancel_from_another_thread() {
+        let token = Arc::new(CancelToken::new(None));
+        let waiter = {
+            let token = token.clone();
+            std::thread::spawn(move || token.wait_cancelled())
+        };
+        token.cancel();
+        waiter.join().expect("waiter returns after cancel");
+    }
+}

@@ -1,0 +1,224 @@
+//! MVCC-lite epoch management: frozen reader epochs, delta-built writers.
+//!
+//! The manager owns the **master** [`UncertainDatabase`] (behind a writer
+//! mutex) and publishes the **current epoch** — an
+//! `Arc<`[`BatchEngine`]`>` over a frozen [`cqa_data::Snapshot`] — behind an
+//! `RwLock` that is only ever held for a pointer clone or a pointer swap:
+//!
+//! * **Readers** ([`EpochManager::current`]) clone the `Arc` and answer
+//!   entirely on that epoch; a concurrent publish cannot tear their view,
+//!   because the epoch's snapshot and index are immutable by construction.
+//! * **Writers** ([`EpochManager::apply_write`]) serialize on the master
+//!   mutex, mutate the database (which records index **deltas**), freeze
+//!   the next snapshot — flushing the delta log through the incremental
+//!   index patcher rather than rebuilding — fork the next engine with
+//!   [`BatchEngine::with_snapshot`] (sharing the classified-engine memo and
+//!   the pool), and swap the published pointer. Old epochs die when their
+//!   last in-flight reader drops its `Arc`.
+//!
+//! No-op writes (duplicate insert, absent removal) publish nothing: the
+//! epoch number a client observes increments exactly on effective
+//! mutations, mirroring [`UncertainDatabase::epoch`].
+
+use crate::protocol::WriteOp;
+use cqa_core::answers::CertainAnswersEngine;
+use cqa_data::UncertainDatabase;
+use cqa_exec::cache::fingerprint;
+use cqa_par::{BatchEngine, ParPool};
+use rustc_hash::FxHashMap;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// What a write did: whether it changed anything, and the epoch the caller
+/// now observes (the new epoch if `changed`, the unchanged one otherwise).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// True iff the mutation was effective (a fresh insert, a present
+    /// removal) and a new epoch was published.
+    pub changed: bool,
+    /// The epoch after the write.
+    pub epoch: u64,
+}
+
+/// The server's shared epoch state: master database + published engine +
+/// the cross-epoch memo of open-rewriting answer engines.
+pub struct EpochManager {
+    master: Mutex<UncertainDatabase>,
+    current: RwLock<Arc<BatchEngine>>,
+    /// Memoized [`CertainAnswersEngine`]s per `(schema, query)`
+    /// fingerprint, shared across epochs — classification and rewriting
+    /// shape are data-independent, and the compiled open plan re-checks
+    /// statistics drift itself. This is the non-Boolean counterpart of the
+    /// [`BatchEngine`]'s classified-engine memo.
+    answer_engines: Mutex<FxHashMap<String, Arc<CertainAnswersEngine>>>,
+}
+
+impl EpochManager {
+    /// Freezes `db` as epoch zero's snapshot and publishes its engine.
+    pub fn new(db: UncertainDatabase, pool: ParPool) -> EpochManager {
+        let engine = Arc::new(BatchEngine::new(db.snapshot(), pool));
+        EpochManager {
+            master: Mutex::new(db),
+            current: RwLock::new(engine),
+            answer_engines: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The current epoch's engine. The returned `Arc` pins the epoch: the
+    /// caller's whole query runs against this one frozen snapshot no matter
+    /// how many writes publish newer epochs meanwhile.
+    pub fn current(&self) -> Arc<BatchEngine> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.current().epoch()
+    }
+
+    /// Applies one write to the master database and — iff it was effective —
+    /// publishes the next epoch. Writers serialize on the master mutex, so
+    /// epochs are published in write order; the publish itself is a single
+    /// pointer swap under the write lock, never blocking readers for longer
+    /// than a pointer clone takes.
+    pub fn apply_write(&self, op: &WriteOp) -> Result<WriteOutcome, String> {
+        let mut master = self.master.lock().unwrap_or_else(PoisonError::into_inner);
+        let changed = match op {
+            WriteOp::Insert(fact) => master.insert(fact.clone()).map_err(|e| e.to_string())?,
+            WriteOp::RemoveFact(fact) => master.remove_fact(fact),
+            WriteOp::RemoveBlock(fact) => master.remove_block_of(fact),
+        };
+        if !changed {
+            return Ok(WriteOutcome {
+                changed: false,
+                epoch: master.epoch(),
+            });
+        }
+        cqa_obs::count!("serve.writes_effective");
+        // Freezing the snapshot flushes the pending delta log through the
+        // incremental index patcher (rebuild past CQA_DELTA_THRESHOLD).
+        let snapshot = master.snapshot();
+        let epoch = snapshot.epoch();
+        let next = Arc::new(self.current().with_snapshot(snapshot));
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = next;
+        cqa_obs::count!("serve.epochs_published");
+        Ok(WriteOutcome {
+            changed: true,
+            epoch,
+        })
+    }
+
+    /// The memoized open-rewriting answer engine for `query`, classifying
+    /// and compiling on first sight of the shape. Counted as
+    /// `serve.answer_engine.{hit,miss}`.
+    pub fn answer_engine(
+        &self,
+        query: &cqa_query::ConjunctiveQuery,
+    ) -> Result<Arc<CertainAnswersEngine>, String> {
+        let key = fingerprint(query);
+        if let Some(engine) = self
+            .answer_engines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            cqa_obs::count!("serve.answer_engine.hit");
+            return Ok(engine.clone());
+        }
+        cqa_obs::count!("serve.answer_engine.miss");
+        // Classify outside the lock; a racing duplicate loses the entry
+        // race harmlessly (both engines answer alike).
+        let engine = Arc::new(CertainAnswersEngine::new(query).map_err(|e| e.to_string())?);
+        Ok(self
+            .answer_engines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(engine)
+            .clone())
+    }
+
+    /// Number of memoized answer engines (tests pin memo reuse).
+    pub fn answer_engine_count(&self) -> usize {
+        self.answer_engines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_data::{Fact, Schema, Value};
+    use cqa_query::{ConjunctiveQuery, Term, Variable};
+
+    fn manager() -> EpochManager {
+        let schema = Schema::from_relations([("R", 2, 1)]).unwrap().into_shared();
+        let mut db = UncertainDatabase::new(schema);
+        db.insert_values("R", ["a", "1"]).unwrap();
+        EpochManager::new(db, ParPool::new(2))
+    }
+
+    fn fact(schema: &Arc<Schema>, key: &str, value: i64) -> Fact {
+        let rel = schema.relation_id("R").unwrap();
+        Fact::checked(schema, rel, vec![Value::str(key), Value::Int(value)]).unwrap()
+    }
+
+    #[test]
+    fn effective_writes_publish_new_epochs_and_noops_do_not() {
+        let manager = manager();
+        let schema = manager.current().snapshot().schema().clone();
+        let before = manager.epoch();
+        let reader_pin = manager.current();
+
+        let outcome = manager
+            .apply_write(&WriteOp::Insert(fact(&schema, "b", 2)))
+            .unwrap();
+        assert!(outcome.changed);
+        assert!(outcome.epoch > before);
+        assert_eq!(manager.epoch(), outcome.epoch);
+        // A pinned reader epoch stays frozen across the publish.
+        assert_eq!(reader_pin.snapshot().fact_count(), 1);
+        assert_eq!(manager.current().snapshot().fact_count(), 2);
+
+        // Duplicate insert and absent removals are no-ops: same epoch.
+        for op in [
+            WriteOp::Insert(fact(&schema, "b", 2)),
+            WriteOp::RemoveFact(fact(&schema, "zzz", 9)),
+            WriteOp::RemoveBlock(fact(&schema, "zzz", 9)),
+        ] {
+            let noop = manager.apply_write(&op).unwrap();
+            assert!(!noop.changed);
+            assert_eq!(noop.epoch, outcome.epoch);
+        }
+
+        // Removal publishes again.
+        let removed = manager
+            .apply_write(&WriteOp::RemoveFact(fact(&schema, "b", 2)))
+            .unwrap();
+        assert!(removed.changed);
+        assert!(removed.epoch > outcome.epoch);
+        assert_eq!(manager.current().snapshot().fact_count(), 1);
+    }
+
+    #[test]
+    fn answer_engines_are_memoized_across_epochs() {
+        let manager = manager();
+        let schema = manager.current().snapshot().schema().clone();
+        let query = ConjunctiveQuery::builder(schema.clone())
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap();
+        let first = manager.answer_engine(&query).unwrap();
+        manager
+            .apply_write(&WriteOp::Insert(fact(&schema, "c", 3)))
+            .unwrap();
+        let second = manager.answer_engine(&query).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "memo survives epochs");
+        assert_eq!(manager.answer_engine_count(), 1);
+    }
+}

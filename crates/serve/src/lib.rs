@@ -1,0 +1,69 @@
+//! # cqa-serve — the network serving layer
+//!
+//! Promotes the `certainty serve` stdin loop into a concurrent TCP server
+//! that answers certain-query-answering traffic over a **live, mutating**
+//! database — the "millions of users" story of the ROADMAP made concrete.
+//!
+//! One listener speaks two dialects, told apart by the first bytes of each
+//! connection:
+//!
+//! * the **line protocol** — newline-delimited requests, one response line
+//!   per request (grammar in [`protocol`]);
+//! * minimal **HTTP/1.1** — `GET /metrics` renders the process-wide
+//!   [`cqa_obs`] registry in the Prometheus text format, `POST /query` runs
+//!   one line-protocol request and returns its response line.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            TcpListener (acceptor thread)
+//!                 │ one OS thread per connection
+//!                 ▼
+//!   connection handler ──► admission control (bounded in-flight, reject
+//!       │                  loudly when saturated)
+//!       │ query job        │
+//!       ▼                  ▼
+//!   ParPool (vendored workpool) ──► EpochManager::current() ─┐
+//!       │  chunked evaluation with CancelToken checks        │
+//!       ▼                                                    ▼
+//!   response line ◄── deadline? ◄── BatchEngine @ epoch N (frozen Snapshot,
+//!                                   shared classified-engine memo)
+//! ```
+//!
+//! **Epochs (MVCC-lite).** Readers never block writers and writers never
+//! block readers: every query grabs an `Arc` onto the *current*
+//! [`cqa_par::BatchEngine`] — a frozen [`cqa_data::Snapshot`] plus the
+//! process-wide caches — and answers entirely on that epoch. A write
+//! (`\insert` / `\remove` / `\remove-block`) mutates the master database
+//! under a writer lock, lets the delta log patch the index incrementally
+//! ([`cqa_data::DatabaseIndex`] delta maintenance, PR 6), forks the next
+//! engine with [`cqa_par::BatchEngine::with_snapshot`] (sharing the
+//! classified-engine memo), and publishes it with one atomic pointer swap.
+//! A query therefore observes **exactly one** epoch — never a torn mix —
+//! which `tests/serve.rs` checks under concurrent read/write interleavings.
+//!
+//! **Admission control.** In-flight queries (queued + running) are bounded
+//! by [`ServerConfig::max_inflight`]; a request past the bound is rejected
+//! immediately with a loud `error: overloaded` response instead of queueing
+//! without bound.
+//!
+//! **Deadlines.** [`ServerConfig::deadline`] arms a per-query
+//! [`CancelToken`]; evaluation checks it between candidate-answer chunks
+//! ([`ServerConfig::query_chunk`]) and aborts gracefully, and the waiting
+//! connection handler responds `error: deadline exceeded` as soon as the
+//! deadline passes even if the worker is mid-chunk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod epoch;
+pub mod protocol;
+pub mod server;
+mod stats;
+
+pub use admission::{Admission, CancelToken, Permit};
+pub use epoch::{EpochManager, WriteOutcome};
+pub use protocol::{render_result, Request, WriteOp};
+pub use server::{QueryStartHook, Server, ServerConfig, ServerHandle};
+pub use stats::stats_line;

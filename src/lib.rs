@@ -23,7 +23,9 @@
 //! * [`prob`] — block-independent-disjoint probabilistic databases, `IsSafe`,
 //!   safe-plan evaluation;
 //! * [`gen`] — seeded workload and instance generators;
-//! * [`parser`] — a small text format plus DOT export.
+//! * [`parser`] — a small text format plus DOT export;
+//! * [`serve`] — the concurrent TCP/HTTP server: epoch snapshots,
+//!   admission control, per-query deadlines, `/metrics`.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -38,6 +40,7 @@ pub use cqa_par as par;
 pub use cqa_parser as parser;
 pub use cqa_prob as prob;
 pub use cqa_query as query;
+pub use cqa_serve as serve;
 
 /// Commonly used items, importable with `use cqa::prelude::*;`.
 pub mod prelude {
