@@ -130,7 +130,7 @@ fn flush_serve(
 /// command (`inflight` is always 0 here: the stdin loop has no admission
 /// control).
 fn serve_stats_line(engine: &BatchEngine, served: usize, started: Instant) -> String {
-    cqa_serve::stats_line(engine, served, started, 0)
+    cqa_serve::stats_line(engine, served, started, 0, 0, 0)
 }
 
 fn run() -> Result<(), String> {

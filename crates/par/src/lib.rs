@@ -41,4 +41,4 @@ pub use answers::certain_answers_par;
 pub use batch::{BatchEngine, BatchOutcome, BatchResult};
 pub use config::ParConfig;
 pub use engine::ParallelEngine;
-pub use pool::ParPool;
+pub use pool::{par_map, ParPool};

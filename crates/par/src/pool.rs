@@ -115,11 +115,16 @@ where
     slots
 }
 
-/// [`par_map_opt`] for merges where every chunk's result is load-bearing
+/// `par_map_opt` for merges where every chunk's result is load-bearing
 /// (sharded answer sets, sharded verdicts): a hole would silently corrupt
 /// the recombined answer, so a panicked chunk propagates as a panic on the
 /// calling thread instead.
-pub(crate) fn par_map<T, R, F>(pool: &ParPool, items: Vec<T>, f: F) -> Vec<R>
+///
+/// Public because downstream shard-and-merge consumers (`cqa-stream`'s
+/// retouched-candidate re-decision) need exactly this deterministic
+/// item-order guarantee: however the workers interleave, the merged `Vec`
+/// is byte-identical to the sequential map.
+pub fn par_map<T, R, F>(pool: &ParPool, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + 'static,
     R: Send + 'static,

@@ -1,32 +1,40 @@
-//! MVCC-lite epoch management: frozen reader epochs, delta-built writers.
+//! MVCC-lite epoch management: frozen reader epochs, delta-built writers,
+//! and materialized views published atomically with the epoch swap.
 //!
-//! The manager owns the **master** [`UncertainDatabase`] (behind a writer
-//! mutex) and publishes the **current epoch** — an
-//! `Arc<`[`BatchEngine`]`>` over a frozen [`cqa_data::Snapshot`] — behind an
-//! `RwLock` that is only ever held for a pointer clone or a pointer swap:
+//! The manager owns the **master** [`UncertainDatabase`] plus the
+//! registered [`MaterializedView`]s (behind one writer mutex — views must
+//! repair in lockstep with the data) and publishes the **current epoch** as
+//! a single `Published` pair — the `Arc<`[`BatchEngine`]`>` over a frozen
+//! [`cqa_data::Snapshot`] *and* the per-view frozen [`ViewReading`]s —
+//! behind an `RwLock` that is only ever held for a pointer clone or a
+//! pointer swap:
 //!
-//! * **Readers** ([`EpochManager::current`]) clone the `Arc` and answer
-//!   entirely on that epoch; a concurrent publish cannot tear their view,
-//!   because the epoch's snapshot and index are immutable by construction.
+//! * **Readers** ([`EpochManager::current`], [`EpochManager::view`]) clone
+//!   out of one `Published`; a concurrent publish cannot tear their view,
+//!   and because engine and view readings swap **together**, a `\view`
+//!   response can never lag (or lead) the epoch a concurrent query
+//!   observes.
 //! * **Writers** ([`EpochManager::apply_write`]) serialize on the master
-//!   mutex, mutate the database (which records index **deltas**), freeze
-//!   the next snapshot — flushing the delta log through the incremental
-//!   index patcher rather than rebuilding — fork the next engine with
-//!   [`BatchEngine::with_snapshot`] (sharing the classified-engine memo and
-//!   the pool), and swap the published pointer. Old epochs die when their
-//!   last in-flight reader drops its `Arc`.
+//!   mutex, mutate the database while recording the exact [`ChangeSet`],
+//!   freeze the next snapshot — flushing the delta log through the
+//!   incremental index patcher — repair every registered view from the
+//!   changeset ([`ViewMaintainer::repair`]), fork the next engine with
+//!   [`BatchEngine::with_snapshot`], and swap the published pair. Old
+//!   epochs die when their last in-flight reader drops its `Arc`; until
+//!   then they are counted by the `serve.epochs.pinned` gauge.
 //!
-//! No-op writes (duplicate insert, absent removal) publish nothing: the
-//! epoch number a client observes increments exactly on effective
-//! mutations, mirroring [`UncertainDatabase::epoch`].
+//! No-op writes (duplicate insert, absent removal, absent block removal)
+//! publish nothing: the epoch number a client observes increments exactly
+//! on effective mutations, mirroring [`UncertainDatabase::epoch`].
 
-use crate::protocol::WriteOp;
+use crate::protocol::{self, WriteOp};
 use cqa_core::answers::CertainAnswersEngine;
-use cqa_data::UncertainDatabase;
+use cqa_data::{ChangeSet, Delta, Fact, UncertainDatabase};
 use cqa_exec::cache::fingerprint;
-use cqa_par::{BatchEngine, ParPool};
+use cqa_par::{BatchEngine, BatchOutcome, BatchResult, ParPool};
+use cqa_stream::{MaterializedView, ViewMaintainer};
 use rustc_hash::FxHashMap;
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, Weak};
 
 /// What a write did: whether it changed anything, and the epoch the caller
 /// now observes (the new epoch if `changed`, the unchanged one otherwise).
@@ -39,27 +47,73 @@ pub struct WriteOutcome {
     pub epoch: u64,
 }
 
-/// The server's shared epoch state: master database + published engine +
-/// the cross-epoch memo of open-rewriting answer engines.
+/// One frozen reading of a registered view, published with (and only with)
+/// its epoch's engine.
+#[derive(Clone, Debug)]
+pub struct ViewReading {
+    /// The view's name.
+    pub name: String,
+    /// The epoch this reading reflects — always the epoch of the engine it
+    /// was published with.
+    pub epoch: u64,
+    /// Number of certain answers.
+    pub certain: usize,
+    /// Number of possible answers.
+    pub possible: usize,
+    /// The pre-rendered protocol response line (`name: N certain / M
+    /// possible; certain: ...`), byte-identical to what a fresh query for
+    /// the same answer sets would render.
+    pub line: String,
+}
+
+/// The atomically-swapped unit of publication: engine and view readings of
+/// one epoch.
+struct Published {
+    engine: Arc<BatchEngine>,
+    views: Arc<FxHashMap<String, Arc<ViewReading>>>,
+}
+
+/// The writer-side state: the master database and the live views it
+/// maintains, mutated together under one lock.
+struct MasterState {
+    db: UncertainDatabase,
+    views: FxHashMap<String, MaterializedView>,
+}
+
+/// The server's shared epoch state: master database + published engine and
+/// views + the cross-epoch memo of open-rewriting answer engines.
 pub struct EpochManager {
-    master: Mutex<UncertainDatabase>,
-    current: RwLock<Arc<BatchEngine>>,
+    master: Mutex<MasterState>,
+    current: RwLock<Published>,
     /// Memoized [`CertainAnswersEngine`]s per `(schema, query)`
     /// fingerprint, shared across epochs — classification and rewriting
     /// shape are data-independent, and the compiled open plan re-checks
     /// statistics drift itself. This is the non-Boolean counterpart of the
     /// [`BatchEngine`]'s classified-engine memo.
     answer_engines: Mutex<FxHashMap<String, Arc<CertainAnswersEngine>>>,
+    maintainer: ViewMaintainer,
+    /// Weak handles on previously published engines: the ones still
+    /// upgradable are old epochs pinned by slow readers
+    /// ([`pinned_epochs`](Self::pinned_epochs)).
+    history: Mutex<Vec<Weak<BatchEngine>>>,
 }
 
 impl EpochManager {
     /// Freezes `db` as epoch zero's snapshot and publishes its engine.
     pub fn new(db: UncertainDatabase, pool: ParPool) -> EpochManager {
-        let engine = Arc::new(BatchEngine::new(db.snapshot(), pool));
+        let engine = Arc::new(BatchEngine::new(db.snapshot(), pool.clone()));
         EpochManager {
-            master: Mutex::new(db),
-            current: RwLock::new(engine),
+            master: Mutex::new(MasterState {
+                db,
+                views: FxHashMap::default(),
+            }),
+            current: RwLock::new(Published {
+                engine,
+                views: Arc::new(FxHashMap::default()),
+            }),
             answer_engines: Mutex::new(FxHashMap::default()),
+            maintainer: ViewMaintainer::with_pool(pool),
+            history: Mutex::new(Vec::new()),
         }
     }
 
@@ -70,6 +124,7 @@ impl EpochManager {
         self.current
             .read()
             .unwrap_or_else(PoisonError::into_inner)
+            .engine
             .clone()
     }
 
@@ -78,31 +133,104 @@ impl EpochManager {
         self.current().epoch()
     }
 
+    /// The current reading of the named view, frozen with the current
+    /// epoch. A reading whose epoch disagrees with its engine's would be a
+    /// torn publish; it is counted (`stream.view.stale_reads`) and the
+    /// concurrency suite asserts the counter stays zero.
+    pub fn view(&self, name: &str) -> Option<Arc<ViewReading>> {
+        let published = self.current.read().unwrap_or_else(PoisonError::into_inner);
+        let reading = published.views.get(name)?.clone();
+        if reading.epoch != published.engine.epoch() {
+            cqa_obs::count!("stream.view.stale_reads");
+        }
+        Some(reading)
+    }
+
+    /// Number of registered views.
+    pub fn view_count(&self) -> usize {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .views
+            .len()
+    }
+
+    /// Number of old epochs still pinned by slow readers: previously
+    /// published engines whose `Arc` is still held somewhere. This is the
+    /// `serve.epochs.pinned` gauge.
+    pub fn pinned_epochs(&self) -> usize {
+        let mut history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+        history.retain(|weak| weak.strong_count() > 0);
+        history.len()
+    }
+
+    /// Registers (or replaces) the view `name` over `query`, decided
+    /// against the current epoch and published immediately — under the
+    /// master lock, so registration serializes with writers and the
+    /// published reading always matches the published engine's epoch.
+    pub fn subscribe(
+        &self,
+        name: &str,
+        query: &cqa_query::ConjunctiveQuery,
+    ) -> Result<Arc<ViewReading>, String> {
+        let mut master = self.master.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut view = MaterializedView::new(name, query)?;
+        self.maintainer
+            .initialize(&mut view, &master.db.snapshot())?;
+        let reading = Arc::new(render_reading(&view));
+        master.views.insert(name.to_string(), view);
+        {
+            let mut current = self.current.write().unwrap_or_else(PoisonError::into_inner);
+            let mut views = (*current.views).clone();
+            views.insert(name.to_string(), reading.clone());
+            current.views = Arc::new(views);
+        }
+        cqa_obs::count!("stream.view.subscriptions");
+        cqa_obs::gauge_set!("serve.views.registered", master.views.len() as i64);
+        Ok(reading)
+    }
+
     /// Applies one write to the master database and — iff it was effective —
+    /// repairs every registered view from the recorded changeset and
     /// publishes the next epoch. Writers serialize on the master mutex, so
     /// epochs are published in write order; the publish itself is a single
-    /// pointer swap under the write lock, never blocking readers for longer
-    /// than a pointer clone takes.
+    /// swap of the engine-plus-views pair under the write lock, never
+    /// blocking readers for longer than a pointer clone takes.
     pub fn apply_write(&self, op: &WriteOp) -> Result<WriteOutcome, String> {
         let mut master = self.master.lock().unwrap_or_else(PoisonError::into_inner);
-        let changed = match op {
-            WriteOp::Insert(fact) => master.insert(fact.clone()).map_err(|e| e.to_string())?,
-            WriteOp::RemoveFact(fact) => master.remove_fact(fact),
-            WriteOp::RemoveBlock(fact) => master.remove_block_of(fact),
-        };
+        let mut changes = ChangeSet::new();
+        let changed = record_write(&mut master.db, op, &mut changes)?;
         if !changed {
             return Ok(WriteOutcome {
                 changed: false,
-                epoch: master.epoch(),
+                epoch: master.db.epoch(),
             });
         }
         cqa_obs::count!("serve.writes_effective");
         // Freezing the snapshot flushes the pending delta log through the
         // incremental index patcher (rebuild past CQA_DELTA_THRESHOLD).
-        let snapshot = master.snapshot();
+        let snapshot = master.db.snapshot();
         let epoch = snapshot.epoch();
+        let mut readings = FxHashMap::default();
+        for (name, view) in master.views.iter_mut() {
+            // A repair error is unreachable for a validated query; if it
+            // ever fires, re-decide from scratch rather than publishing a
+            // stale reading.
+            if self.maintainer.repair(view, &snapshot, &changes).is_err() {
+                cqa_obs::count!("stream.view.repair_errors");
+                self.maintainer.initialize(view, &snapshot)?;
+            }
+            readings.insert(name.clone(), Arc::new(render_reading(view)));
+        }
         let next = Arc::new(self.current().with_snapshot(snapshot));
-        *self.current.write().unwrap_or_else(PoisonError::into_inner) = next;
+        {
+            let mut current = self.current.write().unwrap_or_else(PoisonError::into_inner);
+            let old = std::mem::replace(&mut current.engine, next);
+            current.views = Arc::new(readings);
+            let mut history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+            history.retain(|weak| weak.strong_count() > 0);
+            history.push(Arc::downgrade(&old));
+        }
         cqa_obs::count!("serve.epochs_published");
         Ok(WriteOutcome {
             changed: true,
@@ -149,6 +277,78 @@ impl EpochManager {
     }
 }
 
+/// Applies `op` to `db`, recording the exact deltas into `changes` —
+/// including the per-fact removals of a whole-block removal, which the
+/// database's own pending log nets out internally. Returns whether the
+/// write was effective.
+fn record_write(
+    db: &mut UncertainDatabase,
+    op: &WriteOp,
+    changes: &mut ChangeSet,
+) -> Result<bool, String> {
+    Ok(match op {
+        WriteOp::Insert(fact) => {
+            let inserted = db.insert(fact.clone()).map_err(|e| e.to_string())?;
+            if inserted {
+                changes.record(Delta::Inserted(fact.clone()));
+            }
+            inserted
+        }
+        WriteOp::RemoveFact(fact) => {
+            let emptied = db.block_of(fact).is_some_and(cqa_data::Block::is_singleton);
+            let removed = db.remove_fact(fact);
+            if removed {
+                changes.record(Delta::Removed {
+                    fact: fact.clone(),
+                    emptied_block: emptied,
+                });
+            }
+            removed
+        }
+        WriteOp::RemoveBlock(fact) => {
+            // Capture the block's facts *before* removal: the whole block
+            // disappears, and every member is a delta the views must see.
+            let schema = db.schema().clone();
+            let members: Vec<Fact> = db
+                .block_with_key(fact.relation(), fact.key(&schema))
+                .map(|block| block.facts().to_vec())
+                .unwrap_or_default();
+            let removed = db.remove_block_of(fact);
+            if removed {
+                let last = members.len();
+                for (i, member) in members.into_iter().enumerate() {
+                    changes.record(Delta::Removed {
+                        fact: member,
+                        emptied_block: i + 1 == last,
+                    });
+                }
+            }
+            removed
+        }
+    })
+}
+
+/// Freezes one view's current answer into the published reading shape. The
+/// line is rendered through the same [`protocol::render_result`] as a query
+/// response, so `\view name` and a fresh query over the same answer sets
+/// are byte-identical.
+fn render_reading(view: &MaterializedView) -> ViewReading {
+    let sets = view.answer_sets();
+    let certain = sets.certain.len();
+    let possible = sets.possible.len();
+    let line = protocol::render_result(&BatchResult {
+        name: view.name().to_string(),
+        outcome: BatchOutcome::Answers(sets),
+    });
+    ViewReading {
+        name: view.name().to_string(),
+        epoch: view.epoch(),
+        certain,
+        possible,
+        line,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +365,14 @@ mod tests {
     fn fact(schema: &Arc<Schema>, key: &str, value: i64) -> Fact {
         let rel = schema.relation_id("R").unwrap();
         Fact::checked(schema, rel, vec![Value::str(key), Value::Int(value)]).unwrap()
+    }
+
+    fn open_query(schema: &Arc<Schema>) -> ConjunctiveQuery {
+        ConjunctiveQuery::builder(schema.clone())
+            .atom("R", [Term::var("x"), Term::var("y")])
+            .free([Variable::new("x")])
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -220,5 +428,78 @@ mod tests {
         let second = manager.answer_engine(&query).unwrap();
         assert!(Arc::ptr_eq(&first, &second), "memo survives epochs");
         assert_eq!(manager.answer_engine_count(), 1);
+    }
+
+    #[test]
+    fn views_publish_atomically_with_the_epoch() {
+        let manager = manager();
+        let schema = manager.current().snapshot().schema().clone();
+        let reading = manager
+            .subscribe("keys", &open_query(&schema))
+            .expect("subscribe");
+        assert_eq!(reading.epoch, manager.epoch());
+        assert_eq!((reading.certain, reading.possible), (1, 1));
+        assert!(reading.line.starts_with("keys: 1 certain / 1 possible"));
+        assert_eq!(manager.view_count(), 1);
+
+        // An effective write repairs and republishes the view in the same
+        // swap: reading epoch always equals the engine epoch.
+        let outcome = manager
+            .apply_write(&WriteOp::Insert(fact(&schema, "b", 2)))
+            .unwrap();
+        let reading = manager.view("keys").expect("published view");
+        assert_eq!(reading.epoch, outcome.epoch);
+        assert_eq!((reading.certain, reading.possible), (2, 2));
+
+        // A no-op write leaves the published reading untouched.
+        manager
+            .apply_write(&WriteOp::RemoveFact(fact(&schema, "zzz", 9)))
+            .unwrap();
+        assert_eq!(manager.view("keys").unwrap().epoch, outcome.epoch);
+        assert!(manager.view("nope").is_none());
+        assert_eq!(
+            cqa_obs::Registry::global()
+                .snapshot()
+                .counter("stream.view.stale_reads"),
+            0
+        );
+    }
+
+    #[test]
+    fn whole_block_removal_repairs_views_through_the_recorded_deltas() {
+        let manager = manager();
+        let schema = manager.current().snapshot().schema().clone();
+        manager
+            .apply_write(&WriteOp::Insert(fact(&schema, "a", 2)))
+            .unwrap();
+        manager.subscribe("keys", &open_query(&schema)).unwrap();
+        assert_eq!(manager.view("keys").unwrap().possible, 1);
+        // Remove the whole two-fact block (naming a member that exists).
+        let outcome = manager
+            .apply_write(&WriteOp::RemoveBlock(fact(&schema, "a", 1)))
+            .unwrap();
+        assert!(outcome.changed);
+        let reading = manager.view("keys").unwrap();
+        assert_eq!((reading.certain, reading.possible), (0, 0));
+        assert_eq!(reading.epoch, outcome.epoch);
+    }
+
+    #[test]
+    fn pinned_epoch_gauge_counts_slow_readers() {
+        let manager = manager();
+        let schema = manager.current().snapshot().schema().clone();
+        assert_eq!(manager.pinned_epochs(), 0);
+        let pin = manager.current();
+        manager
+            .apply_write(&WriteOp::Insert(fact(&schema, "b", 2)))
+            .unwrap();
+        assert_eq!(manager.pinned_epochs(), 1, "the old epoch is pinned");
+        manager
+            .apply_write(&WriteOp::Insert(fact(&schema, "c", 3)))
+            .unwrap();
+        // The intermediate epoch died unpinned; the original is still held.
+        assert_eq!(manager.pinned_epochs(), 1);
+        drop(pin);
+        assert_eq!(manager.pinned_epochs(), 0);
     }
 }

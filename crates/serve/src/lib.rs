@@ -10,8 +10,11 @@
 //! * the **line protocol** — newline-delimited requests, one response line
 //!   per request (grammar in [`protocol`]);
 //! * minimal **HTTP/1.1** — `GET /metrics` renders the process-wide
-//!   [`cqa_obs`] registry in the Prometheus text format, `POST /query` runs
-//!   one line-protocol request and returns its response line.
+//!   [`cqa_obs`] registry in the Prometheus text format, `GET /view/<name>`
+//!   returns a materialized view's current reading, `POST /query` runs
+//!   one line-protocol request and returns its response line. Connections
+//!   are persistent by default (RFC 9112 keep-alive), closing on
+//!   `Connection: close` or broken framing.
 //!
 //! ## Architecture
 //!
@@ -42,6 +45,16 @@
 //! A query therefore observes **exactly one** epoch — never a torn mix —
 //! which `tests/serve.rs` checks under concurrent read/write interleavings.
 //!
+//! **Materialized views (`cqa-stream`).** `\subscribe <name> <query>`
+//! registers a [`cqa_stream::MaterializedView`]; every effective write
+//! repairs the registered views incrementally from the recorded
+//! [`cqa_data::ChangeSet`] (block-level provenance, damage-thresholded
+//! fallback) and publishes the repaired readings **atomically with** the
+//! engine pointer swap, so `\view <name>` and `GET /view/<name>` can never
+//! observe a reading from a different epoch than a concurrent query. Old
+//! epochs still pinned by slow readers are counted by the
+//! `serve.epochs.pinned` gauge.
+//!
 //! **Admission control.** In-flight queries (queued + running) are bounded
 //! by [`ServerConfig::max_inflight`]; a request past the bound is rejected
 //! immediately with a loud `error: overloaded` response instead of queueing
@@ -63,7 +76,7 @@ pub mod server;
 mod stats;
 
 pub use admission::{Admission, CancelToken, Permit};
-pub use epoch::{EpochManager, WriteOutcome};
+pub use epoch::{EpochManager, ViewReading, WriteOutcome};
 pub use protocol::{render_result, Request, WriteOp};
 pub use server::{QueryStartHook, Server, ServerConfig, ServerHandle};
 pub use stats::stats_line;

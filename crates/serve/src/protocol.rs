@@ -7,6 +7,7 @@
 //! query        := ["certain "] [name ["(" vars ")"]] [":-"] atoms
 //! command      := "\stats" | "\epoch" | "\quit"
 //!               | "\insert " fact | "\remove " fact | "\remove-block " fact
+//!               | "\subscribe " name query | "\view " name
 //! fact         := RelName "(" const ("," const)* ")"
 //! blank        := ""            # comments ('#' to end of line) are stripped
 //! ```
@@ -23,6 +24,8 @@
 //! name: error: <explanation>                             # any failure
 //! ok: inserted, epoch 4                                  # effective write
 //! ok: no-op, epoch 4                                     # ineffective write
+//! ok: subscribed v, epoch 4, 2 certain / 5 possible      # \subscribe
+//! v: 2 certain / 5 possible; certain: (a, 1), (b, 2)     # \view (query shape)
 //! epoch: 4                                               # \epoch
 //! stats: 512 served, 3483.4 qps, p50 0.066 ms, ...       # \stats
 //! bye                                                    # \quit, then close
@@ -56,6 +59,20 @@ pub enum Request {
     Stats,
     /// `\epoch`: the current epoch number.
     Epoch,
+    /// `\subscribe <name> <query>`: register a materialized view and
+    /// publish its first reading with the current epoch.
+    Subscribe {
+        /// The view's name (the first word after the verb).
+        name: String,
+        /// The conjunctive query the view materializes.
+        query: ConjunctiveQuery,
+    },
+    /// `\view <name>`: the named view's current reading, rendered exactly
+    /// like a query response.
+    View {
+        /// The view's name.
+        name: String,
+    },
     /// `\quit`: say `bye` and close the connection.
     Quit,
 }
@@ -90,6 +107,8 @@ pub fn parse_request(
                 "stats" => Ok(Some(Request::Stats)),
                 "epoch" => Ok(Some(Request::Epoch)),
                 "quit" => Ok(Some(Request::Quit)),
+                "subscribe" => Err("\\subscribe: usage: \\subscribe <name> <query>".into()),
+                "view" => Err("\\view: usage: \\view <name>".into()),
                 other => Err(format!("unknown command `\\{other}`")),
             },
             Some((verb, rest)) => {
@@ -102,6 +121,29 @@ pub fn parse_request(
                     "remove-block" => Ok(Some(Request::Write(WriteOp::RemoveBlock(fact(
                         "remove-block",
                     )?)))),
+                    "subscribe" => {
+                        let (name, body) = rest
+                            .trim()
+                            .split_once(' ')
+                            .ok_or("\\subscribe: usage: \\subscribe <name> <query>")?;
+                        // The view keeps the subscriber's chosen name; the
+                        // query text's own head name (if any) is discarded.
+                        let (_, query) = parse_query_line(schema, body.trim(), request_no)
+                            .map_err(|e| format!("\\subscribe: {e}"))?;
+                        Ok(Some(Request::Subscribe {
+                            name: name.to_string(),
+                            query,
+                        }))
+                    }
+                    "view" => {
+                        let name = rest.trim();
+                        if name.is_empty() || name.contains(' ') {
+                            return Err("\\view: usage: \\view <name>".into());
+                        }
+                        Ok(Some(Request::View {
+                            name: name.to_string(),
+                        }))
+                    }
                     other => Err(format!("unknown command `\\{other}`")),
                 }
             }
@@ -215,6 +257,17 @@ mod tests {
             parse_request(&schema, "\\remove-block R(a, 1)", 1),
             Ok(Some(Request::Write(WriteOp::RemoveBlock(_))))
         ));
+        let Ok(Some(Request::Subscribe { name, query })) =
+            parse_request(&schema, "\\subscribe keys q(x) :- R(x, y)", 1)
+        else {
+            panic!("expected a subscription");
+        };
+        assert_eq!(name, "keys");
+        assert_eq!(query.free_vars().len(), 1);
+        assert!(matches!(
+            parse_request(&schema, "\\view keys", 1),
+            Ok(Some(Request::View { name })) if name == "keys"
+        ));
         let Ok(Some(Request::Query { name, query })) =
             parse_request(&schema, "certain q(x) :- R(x, y)", 1)
         else {
@@ -237,6 +290,11 @@ mod tests {
         assert!(parse_request(&schema, "\\insert R(a)", 1).is_err());
         assert!(parse_request(&schema, "q :- T(x)", 1).is_err());
         assert!(parse_request(&schema, "((((", 1).is_err());
+        assert!(parse_request(&schema, "\\subscribe", 1).is_err());
+        assert!(parse_request(&schema, "\\subscribe lonely", 1).is_err());
+        assert!(parse_request(&schema, "\\subscribe v T(x)", 1).is_err());
+        assert!(parse_request(&schema, "\\view", 1).is_err());
+        assert!(parse_request(&schema, "\\view two words", 1).is_err());
     }
 
     #[test]

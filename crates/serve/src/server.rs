@@ -2,9 +2,11 @@
 //!
 //! One [`std::net::TcpListener`] accepts both dialects; the first bytes of
 //! a connection decide. A line starting with an HTTP method keyword makes
-//! the connection a one-shot HTTP exchange (`GET /metrics`, `POST /query`);
-//! anything else enters the newline-delimited line protocol and stays in it
-//! until EOF or `\quit`.
+//! the connection an HTTP exchange (`GET /metrics`, `GET /view/<name>`,
+//! `POST /query`) — persistent by default for HTTP/1.1 per RFC 9112
+//! (honoring `Connection: close` / `keep-alive` either way); anything else
+//! enters the newline-delimited line protocol and stays in it until EOF or
+//! `\quit`.
 //!
 //! Each connection gets its own OS thread (blocking reads), but **query
 //! evaluation runs on the shared work-stealing [`ParPool`]**: the handler
@@ -355,11 +357,26 @@ fn dispatch_line(shared: &Arc<Shared>, line: &[u8], n: usize) -> Dispatch {
                     Dispatch::Respond(execute_query(shared, name, query))
                 }
                 Request::Write(op) => Dispatch::Respond(execute_write(shared, &op, n)),
+                Request::Subscribe { name, query } => {
+                    Dispatch::Respond(match shared.epochs.subscribe(&name, &query) {
+                        Ok(reading) => format!(
+                            "ok: subscribed {name}, epoch {}, {} certain / {} possible",
+                            reading.epoch, reading.certain, reading.possible
+                        ),
+                        Err(e) => protocol::render_error(&name, &e),
+                    })
+                }
+                Request::View { name } => Dispatch::Respond(match shared.epochs.view(&name) {
+                    Some(reading) => reading.line.clone(),
+                    None => protocol::render_error(&name, &format!("unknown view `{name}`")),
+                }),
                 Request::Stats => Dispatch::Respond(stats::stats_line(
                     &shared.epochs.current(),
                     shared.served.load(Ordering::Relaxed),
                     shared.started,
                     shared.admission.inflight(),
+                    shared.epochs.view_count(),
+                    shared.epochs.pinned_epochs(),
                 )),
                 Request::Epoch => Dispatch::Respond(format!("epoch: {}", shared.epochs.epoch())),
                 Request::Quit => Dispatch::Close("bye".to_string()),
@@ -554,21 +571,47 @@ fn looks_like_http(line: &[u8]) -> bool {
     .any(|method| line.starts_with(method))
 }
 
-/// One-shot HTTP exchange: parse the request line and headers, serve
-/// `GET /metrics` or `POST /query`, close. Header count and sizes are
-/// bounded; a body larger than `max_request_bytes` is refused outright.
+/// The persistent-connection loop: serve one exchange, then — if both
+/// sides agreed to keep the socket alive — read the next request line and
+/// go again. Anything that breaks framing (oversized headers, an unread
+/// body, a non-HTTP line) closes the connection.
 fn serve_http(
     shared: &Arc<Shared>,
     request_line: &[u8],
     reader: &mut impl BufRead,
     writer: &mut impl Write,
 ) -> io::Result<()> {
+    let mut line = request_line.to_vec();
+    loop {
+        if !http_exchange(shared, &line, reader, writer)? {
+            return Ok(());
+        }
+        cqa_obs::count!("serve.http_keepalive_reuses");
+        match read_request_line(reader, shared.config.max_request_bytes)? {
+            Line::Request(next) if looks_like_http(&next) => line = next,
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// One HTTP exchange: parse the request line and headers, serve
+/// `GET /metrics`, `GET /view/<name>` or `POST /query`. Header count and
+/// sizes are bounded; a body larger than `max_request_bytes` is refused
+/// outright. Returns whether the connection stays open for another request.
+fn http_exchange(
+    shared: &Arc<Shared>,
+    request_line: &[u8],
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+) -> io::Result<bool> {
     cqa_obs::count!("serve.http_requests");
     let line = String::from_utf8_lossy(request_line);
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
     let mut content_length = 0usize;
+    let mut connection = String::new();
     for _ in 0..64 {
         match read_request_line(reader, 8 * 1024)? {
             Line::Request(header) if header.is_empty() => break,
@@ -577,23 +620,56 @@ fn serve_http(
                 if let Some((key, value)) = header.split_once(':') {
                     if key.trim().eq_ignore_ascii_case("content-length") {
                         content_length = value.trim().parse().unwrap_or(0);
+                    } else if key.trim().eq_ignore_ascii_case("connection") {
+                        connection = value.trim().to_ascii_lowercase();
                     }
                 }
             }
-            Line::TooLong => return http_response(writer, 431, "Request Header Fields Too Large"),
-            Line::Eof => return Ok(()),
+            Line::TooLong => {
+                // Framing can't be trusted past an oversized header: close.
+                http_response(writer, 431, "Request Header Fields Too Large", false)?;
+                return Ok(false);
+            }
+            Line::Eof => return Ok(false),
         }
     }
+    // RFC 9112 persistence: HTTP/1.1 keeps the socket open unless the
+    // client says `Connection: close`; older versions only on an explicit
+    // `keep-alive`.
+    let keep_alive = if connection.contains("close") {
+        false
+    } else {
+        connection.contains("keep-alive") || version == "HTTP/1.1"
+    };
     match (method, path) {
         ("GET", "/metrics") => {
             shared.pool.record_metrics();
             cqa_obs::gauge_set!("serve.epoch", shared.epochs.epoch() as i64);
+            cqa_obs::gauge_set!("serve.epochs.pinned", shared.epochs.pinned_epochs() as i64);
+            cqa_obs::gauge_set!("serve.views.registered", shared.epochs.view_count() as i64);
             let body = cqa_obs::Registry::global().snapshot().render_prometheus();
-            http_response_body(writer, 200, "OK", &body)
+            http_response_body(writer, 200, "OK", &body, keep_alive)?;
+            Ok(keep_alive)
+        }
+        ("GET", _) if path.starts_with("/view/") => {
+            let name = &path["/view/".len()..];
+            match shared.epochs.view(name) {
+                Some(reading) => http_response_body(
+                    writer,
+                    200,
+                    "OK",
+                    &format!("{}\n", reading.line),
+                    keep_alive,
+                )?,
+                None => http_response(writer, 404, "Not Found", keep_alive)?,
+            }
+            Ok(keep_alive)
         }
         ("POST", "/query") => {
             if content_length > shared.config.max_request_bytes {
-                return http_response(writer, 413, "Payload Too Large");
+                // The oversized body is never read; the framing is gone.
+                http_response(writer, 413, "Payload Too Large", false)?;
+                return Ok(false);
             }
             let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body)?;
@@ -609,14 +685,25 @@ fn serve_http(
                     protocol::render_error("q1", "internal error while handling the request")
                 }
             };
-            http_response_body(writer, 200, "OK", &format!("{response}\n"))
+            http_response_body(writer, 200, "OK", &format!("{response}\n"), keep_alive)?;
+            Ok(keep_alive)
         }
-        _ => http_response(writer, 404, "Not Found"),
+        _ => {
+            // An unknown target with an unread body breaks framing: close.
+            let reusable = keep_alive && content_length == 0;
+            http_response(writer, 404, "Not Found", reusable)?;
+            Ok(reusable)
+        }
     }
 }
 
-fn http_response(writer: &mut impl Write, status: u16, reason: &str) -> io::Result<()> {
-    http_response_body(writer, status, reason, &format!("{reason}\n"))
+fn http_response(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    http_response_body(writer, status, reason, &format!("{reason}\n"), keep_alive)
 }
 
 fn http_response_body(
@@ -624,12 +711,14 @@ fn http_response_body(
     status: u16,
     reason: &str,
     body: &str,
+    keep_alive: bool,
 ) -> io::Result<()> {
     write!(
         writer,
         "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+         Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     )?;
     writer.flush()
 }

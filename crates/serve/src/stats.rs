@@ -7,12 +7,16 @@ use std::time::Instant;
 /// One serving-stats line: throughput, latency percentiles (from the
 /// `par.batch.query_nanos` histogram), cache hit rates, pool and epoch
 /// state. `inflight` is the admission-control occupancy (0 for the stdin
-/// loop, which has no admission control).
+/// loop, which has no admission control); `views` counts registered
+/// materialized views and `pinned` the old epochs still held by slow
+/// readers (both 0 for the stdin loop, which has neither).
 pub fn stats_line(
     engine: &BatchEngine,
     served: usize,
     started: Instant,
     inflight: usize,
+    views: usize,
+    pinned: usize,
 ) -> String {
     engine.pool().record_metrics();
     let snapshot = cqa_obs::Registry::global().snapshot();
@@ -35,6 +39,7 @@ pub fn stats_line(
         "stats: {served} served, {inflight} in flight, {qps:.1} qps, \
          p50 {p50:.3} ms, p99 {p99:.3} ms, \
          plan-cache {}, engine-cache {}, steals {}, epoch {}, \
+         views {views}, pinned epochs {pinned}, \
          index deltas {} applied / {} rebuilt",
         rate("exec.plan_cache"),
         rate("par.batch.engine"),
@@ -56,7 +61,7 @@ mod tests {
         let schema = Schema::from_relations([("R", 2, 1)]).unwrap().into_shared();
         let db = UncertainDatabase::new(schema);
         let engine = BatchEngine::new(db.snapshot(), ParPool::new(1));
-        let line = stats_line(&engine, 42, Instant::now(), 3);
+        let line = stats_line(&engine, 42, Instant::now(), 3, 2, 1);
         assert!(
             line.starts_with("stats: 42 served, 3 in flight, "),
             "{line}"
@@ -64,5 +69,6 @@ mod tests {
         assert!(line.contains("qps"), "{line}");
         assert!(line.contains("p99"), "{line}");
         assert!(line.contains("epoch 0"), "{line}");
+        assert!(line.contains("views 2, pinned epochs 1"), "{line}");
     }
 }

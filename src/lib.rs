@@ -24,8 +24,11 @@
 //!   safe-plan evaluation;
 //! * [`gen`] — seeded workload and instance generators;
 //! * [`parser`] — a small text format plus DOT export;
+//! * [`stream`] — materialized certain-answer views with block-level
+//!   provenance, repaired incrementally from the mutation delta log;
 //! * [`serve`] — the concurrent TCP/HTTP server: epoch snapshots,
-//!   admission control, per-query deadlines, `/metrics`.
+//!   admission control, per-query deadlines, materialized views,
+//!   `/metrics`.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -41,6 +44,7 @@ pub use cqa_parser as parser;
 pub use cqa_prob as prob;
 pub use cqa_query as query;
 pub use cqa_serve as serve;
+pub use cqa_stream as stream;
 
 /// Commonly used items, importable with `use cqa::prelude::*;`.
 pub mod prelude {
@@ -55,4 +59,5 @@ pub mod prelude {
     pub use cqa_obs::{Registry, Snapshot as MetricsSnapshot, TraceSink};
     pub use cqa_par::{certain_answers_par, BatchEngine, ParConfig, ParPool, ParallelEngine};
     pub use cqa_query::{Atom, ConjunctiveQuery, Term, Variable};
+    pub use cqa_stream::{MaterializedView, ViewMaintainer};
 }

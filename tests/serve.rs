@@ -305,6 +305,26 @@ fn readers_observe_exactly_one_epoch() {
         },
     );
     let addr = handle.addr();
+
+    // Register a materialized view over the probe query before any write:
+    // its reading publishes atomically with each epoch, so a `\view` reply
+    // must match exactly one epoch's rendering, like any query reply.
+    let mut admin = Client::connect(addr);
+    let subscribed = admin.ask(&format!("\\subscribe probe {PROBE}"));
+    assert!(
+        subscribed.starts_with("ok: subscribed probe, epoch "),
+        "{subscribed}"
+    );
+    assert_eq!(&admin.ask("\\view probe"), &renderings[0]);
+
+    // A `\remove-block` of an absent block is a no-op: no epoch published,
+    // no view reading disturbed.
+    let epoch_before = admin.ask("\\epoch");
+    let noop = admin.ask("\\remove-block S(zzz, 0)");
+    assert!(noop.starts_with("ok: no-op, epoch "), "{noop}");
+    assert_eq!(admin.ask("\\epoch"), epoch_before);
+    assert_eq!(&admin.ask("\\view probe"), &renderings[0]);
+
     const READERS: usize = 3;
     const PROBES: usize = 16;
     let barrier = Arc::new(Barrier::new(READERS + 1));
@@ -338,7 +358,17 @@ fn readers_observe_exactly_one_epoch() {
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr);
                 barrier.wait();
-                (0..PROBES).map(|_| client.ask(PROBE)).collect::<Vec<_>>()
+                // Alternate fresh evaluation and the maintained view: both
+                // must always land on exactly one published epoch.
+                (0..PROBES)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            client.ask(PROBE)
+                        } else {
+                            client.ask("\\view probe")
+                        }
+                    })
+                    .collect::<Vec<_>>()
             })
         })
         .collect();
@@ -353,12 +383,29 @@ fn readers_observe_exactly_one_epoch() {
             "reader response matches no epoch (torn read?): {response}"
         );
     }
-    // After the writer finished, a fresh reader sees exactly the final epoch.
+    // After the writer finished, a fresh reader sees exactly the final
+    // epoch — from evaluation and from the incrementally repaired view
+    // alike, byte for byte.
     let mut client = Client::connect(addr);
+    let last = renderings.last().expect("at least one epoch");
     assert_eq!(
         &client.ask(PROBE),
-        renderings.last().expect("at least one epoch"),
+        last,
         "the final epoch must be visible once the writer completed"
+    );
+    assert_eq!(
+        &client.ask("\\view probe"),
+        last,
+        "the maintained view must have converged to the final epoch"
+    );
+    // Stats report the registered view; no stale view read ever happened
+    // (a reading and its epoch's engine publish in one swap).
+    assert!(client.ask("\\stats").contains("views 1,"));
+    assert_eq!(
+        cqa::obs::Registry::global()
+            .snapshot()
+            .counter("stream.view.stale_reads"),
+        0
     );
     assert_eq!(handler_panics(), 0);
     handle.shutdown();
@@ -638,6 +685,8 @@ fn slow_queries_hit_their_deadline_and_the_connection_survives() {
 // HTTP endpoints
 // ---------------------------------------------------------------------------
 
+/// One-shot HTTP exchange: sends `Connection: close` so the (keep-alive by
+/// default) server closes after the response and `read_to_string` sees EOF.
 fn http_exchange(addr: SocketAddr, request: &[u8]) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -649,6 +698,37 @@ fn http_exchange(addr: SocketAddr, request: &[u8]) -> String {
         .read_to_string(&mut response)
         .expect("read http response");
     response
+}
+
+/// Reads one complete HTTP response (status line, headers, Content-Length
+/// body) off a persistent connection, leaving the socket open for the next
+/// exchange. Returns (status line, body).
+fn read_http_response(reader: &mut BufReader<TcpStream>) -> (String, String) {
+    let mut status = String::new();
+    assert!(
+        reader.read_line(&mut status).expect("read status line") > 0,
+        "connection closed while expecting an HTTP response"
+    );
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("read header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((key, value)) = header.split_once(':') {
+            if key.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    (
+        status.trim_end().to_string(),
+        String::from_utf8(body).expect("utf-8 body"),
+    )
 }
 
 #[test]
@@ -671,7 +751,7 @@ fn http_endpoints_serve_metrics_and_queries() {
     let line = "certain rome :- C(x, y, \"Rome\"), R(x, \"A\")";
     let expected = expected_response(&schema, &reference, line, 1).expect("reference");
     let request = format!(
-        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{line}",
+        "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{line}",
         line.len()
     );
     let response = http_exchange(addr, request.as_bytes());
@@ -680,7 +760,10 @@ fn http_endpoints_serve_metrics_and_queries() {
     assert_eq!(body, format!("{expected}\n"));
 
     // GET /metrics renders the Prometheus exposition of the registry.
-    let response = http_exchange(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    let response = http_exchange(
+        addr,
+        b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
     assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
     assert!(
         response.contains("# TYPE serve_connections counter"),
@@ -690,9 +773,20 @@ fn http_endpoints_serve_metrics_and_queries() {
         response.contains("# TYPE par_batch_query_nanos summary"),
         "{response}"
     );
+    assert!(
+        response.contains("# TYPE serve_epochs_pinned gauge"),
+        "{response}"
+    );
+    assert!(
+        response.contains("# TYPE serve_views_registered gauge"),
+        "{response}"
+    );
 
     // Unknown paths 404; oversized bodies are refused with 413.
-    let response = http_exchange(addr, b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    let response = http_exchange(
+        addr,
+        b"GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
     assert!(
         response.starts_with("HTTP/1.1 404 Not Found\r\n"),
         "{response}"
@@ -703,6 +797,123 @@ fn http_endpoints_serve_metrics_and_queries() {
     );
     assert!(
         response.starts_with("HTTP/1.1 413 Payload Too Large\r\n"),
+        "{response}"
+    );
+    assert_eq!(handler_panics(), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn http_keep_alive_serves_many_requests_on_one_socket() {
+    let doc = parse_document(&serving_document()).expect("parse document");
+    let schema = doc.schema.clone();
+    let reference = BatchEngine::new(doc.database.snapshot(), ParPool::new(1));
+    let handle = start(
+        doc.database,
+        ServerConfig {
+            threads: Some(2),
+            ..ServerConfig::default()
+        },
+    );
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(WATCHDOG))
+        .expect("set watchdog");
+    stream.set_nodelay(true).expect("set TCP_NODELAY");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    // First request: HTTP/1.1 without a Connection header — persistent by
+    // default, and the server says so.
+    let line = "certain rome :- C(x, y, \"Rome\"), R(x, \"A\")";
+    let expected = expected_response(&schema, &reference, line, 1).expect("reference");
+    write!(
+        writer,
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{line}",
+        line.len()
+    )
+    .expect("send first request");
+    let (status, body) = read_http_response(&mut reader);
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+    assert_eq!(body, format!("{expected}\n"));
+
+    // Second request rides the SAME socket.
+    write!(writer, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").expect("send second request");
+    let (status, body) = read_http_response(&mut reader);
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+    assert!(
+        body.contains("# TYPE serve_http_keepalive_reuses counter"),
+        "{body}"
+    );
+
+    // `Connection: close` ends the session after the response.
+    write!(
+        writer,
+        "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send final request");
+    let (status, _) = read_http_response(&mut reader);
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+    let mut rest = String::new();
+    reader
+        .read_to_string(&mut rest)
+        .expect("EOF after Connection: close");
+    assert!(rest.is_empty(), "server must close after Connection: close");
+    assert_eq!(handler_panics(), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn views_are_served_over_both_protocols() {
+    let doc = parse_document(&serving_document()).expect("parse document");
+    let handle = start(
+        doc.database,
+        ServerConfig {
+            threads: Some(2),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let mut client = Client::connect(addr);
+
+    // Subscribe, then read the view over the line protocol: the reading is
+    // rendered exactly like the equivalent query response.
+    let query = "which(x) :- C(x, y, \"Rome\"), R(x, \"A\")";
+    let direct = client.ask(query);
+    let subscribed = client.ask(&format!("\\subscribe which {query}"));
+    assert!(
+        subscribed.starts_with("ok: subscribed which, epoch "),
+        "{subscribed}"
+    );
+    assert_eq!(client.ask("\\view which"), direct);
+
+    // A write repairs the view; the next reading reflects it without
+    // re-running the query.
+    let response = client.ask("\\insert C(PODS, 2020, Rome)");
+    assert!(response.starts_with("ok: inserted, epoch "), "{response}");
+    let repaired = client.ask("\\view which");
+    assert_eq!(repaired, client.ask(query), "view tracks the new epoch");
+
+    // Unknown views error without disturbing the connection.
+    assert_eq!(
+        client.ask("\\view nope"),
+        "nope: error: unknown view `nope`"
+    );
+
+    // GET /view/<name> serves the same reading over HTTP; unknown names 404.
+    let response = http_exchange(
+        addr,
+        b"GET /view/which HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("http body");
+    assert_eq!(body, format!("{repaired}\n"));
+    let response = http_exchange(
+        addr,
+        b"GET /view/nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert!(
+        response.starts_with("HTTP/1.1 404 Not Found\r\n"),
         "{response}"
     );
     assert_eq!(handler_panics(), 0);
